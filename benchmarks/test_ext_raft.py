@@ -1,0 +1,85 @@
+"""Extension bench — Raft over gossip with semantic extensions (§5.1).
+
+The paper claims its semantic techniques apply directly to a gossip-based
+Raft deployment. This bench substantiates the claim quantitatively: Raft
+runs over all three substrates and the Raft-specific semantic rules are
+measured the same way the Paxos ones are in Figure 3 / §4.3.
+
+Shape assertions: Raft mirrors the Paxos findings — gossip costs latency
+versus Baseline, and the semantic rules cut received messages without
+losing any decision. A final cross-protocol row checks that fail-free
+Raft and Paxos behave alike over the same substrate (Raft Refloated's
+observation, restated in the paper).
+"""
+
+from benchmarks.conftest import SCALE, bench_config, save_results
+from repro.analysis.tables import format_table
+from repro.runtime.runner import run_experiment
+
+PLAN = {
+    "quick": dict(n=13, rate=100, values=80),
+    "paper": dict(n=53, rate=100, values=120),
+}
+
+
+def run_raft_matrix():
+    plan = PLAN[SCALE]
+    results = {}
+    for protocol in ("paxos", "raft"):
+        for setup in ("baseline", "gossip", "semantic"):
+            config = bench_config(setup, plan["n"], plan["rate"],
+                                  plan["values"], protocol=protocol)
+            results[(protocol, setup)] = run_experiment(config)
+    return results
+
+
+def test_ext_raft_over_gossip(benchmark):
+    results = benchmark.pedantic(run_raft_matrix, rounds=1, iterations=1)
+    plan = PLAN[SCALE]
+
+    rows = []
+    data = {}
+    for (protocol, setup), report in results.items():
+        messages = report.messages
+        rows.append([
+            protocol, setup,
+            "{:.0f}".format(report.avg_latency_s * 1000),
+            "{:.0f}".format(report.throughput),
+            messages.received_total,
+            messages.filtered,
+            messages.aggregated_saved,
+            report.not_ordered,
+        ])
+        data["{}-{}".format(protocol, setup)] = {
+            "avg_latency_ms": report.avg_latency_s * 1000,
+            "throughput": report.throughput,
+            "received_total": messages.received_total,
+            "filtered": messages.filtered,
+            "aggregated_saved": messages.aggregated_saved,
+            "not_ordered": report.not_ordered,
+        }
+
+    print()
+    print(format_table(
+        ["protocol", "setup", "avg ms", "thr /s", "msgs recv",
+         "filtered", "agg saved", "not ordered"],
+        rows,
+        title="Extension: Raft vs Paxos across substrates "
+              "(n={}, {}/s)".format(plan["n"], plan["rate"]),
+    ))
+
+    save_results("ext_raft", {"scale": SCALE, "data": data})
+
+    # Raft mirrors the paper's Paxos findings.
+    assert (results[("raft", "gossip")].avg_latency_s
+            > results[("raft", "baseline")].avg_latency_s)
+    assert (results[("raft", "semantic")].messages.received_total
+            < results[("raft", "gossip")].messages.received_total)
+    assert results[("raft", "semantic")].messages.filtered > 0
+    # Everything ordered in fail-free runs.
+    assert all(r.not_ordered == 0 for r in results.values())
+    # Fail-free Raft ~ Paxos over the same substrate.
+    paxos = results[("paxos", "gossip")]
+    raft = results[("raft", "gossip")]
+    assert abs(raft.avg_latency_s - paxos.avg_latency_s) \
+        < 0.25 * paxos.avg_latency_s

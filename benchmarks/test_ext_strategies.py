@@ -1,0 +1,75 @@
+"""Extension bench — push vs pull vs push-pull dissemination (§2.2).
+
+The paper adopts push and argues the choice; this bench quantifies it for
+consensus traffic: the same Paxos workload over the three strategies,
+fail-free and under injected loss (where push-pull's anti-entropy repair
+should shine — the Bimodal Multicast arrangement from the related work).
+"""
+
+from benchmarks.conftest import SCALE, bench_config, save_results
+from repro.analysis.tables import format_table
+from repro.runtime.runner import run_experiment
+
+PLAN = {
+    "quick": dict(n=13, rate=60, values=60, loss=0.15),
+    "paper": dict(n=53, rate=60, values=100, loss=0.15),
+}
+
+STRATEGIES = ("push", "pull", "push-pull")
+
+
+def run_strategies():
+    plan = PLAN[SCALE]
+    results = {}
+    for strategy in STRATEGIES:
+        for loss in (0.0, plan["loss"]):
+            config = bench_config(
+                "gossip", plan["n"], plan["rate"], plan["values"],
+                gossip_strategy=strategy, pull_interval=0.05,
+                loss_rate=loss, drain=5.0,
+            )
+            results[(strategy, loss)] = run_experiment(config)
+    return results
+
+
+def test_ext_gossip_strategies(benchmark):
+    results = benchmark.pedantic(run_strategies, rounds=1, iterations=1)
+    plan = PLAN[SCALE]
+
+    rows = []
+    data = {}
+    for (strategy, loss), report in results.items():
+        rows.append([
+            strategy,
+            "{:.0%}".format(loss),
+            "{:.0f}".format(report.avg_latency_s * 1000),
+            "{:.0f}".format(report.throughput),
+            report.messages.received_total,
+            "{:.1%}".format(report.not_ordered_fraction),
+        ])
+        data["{}|{}".format(strategy, loss)] = {
+            "avg_latency_ms": report.avg_latency_s * 1000,
+            "received_total": report.messages.received_total,
+            "not_ordered_fraction": report.not_ordered_fraction,
+        }
+
+    print()
+    print(format_table(
+        ["strategy", "loss", "avg ms", "thr /s", "msgs recv", "not ordered"],
+        rows,
+        title="Extension: dissemination strategies (n={}, {}/s; paper "
+              "adopts push)".format(plan["n"], plan["rate"]),
+    ))
+
+    save_results("ext_strategies", {"scale": SCALE, "data": data})
+
+    loss = plan["loss"]
+    # Push is the latency choice: pull pays round-trip rounds.
+    assert (results[("push", 0.0)].avg_latency_s
+            < results[("pull", 0.0)].avg_latency_s)
+    # Push-pull repairs losses at least as well as plain push.
+    assert (results[("push-pull", loss)].not_ordered_fraction
+            <= results[("push", loss)].not_ordered_fraction + 0.02)
+    # All strategies order everything in the fail-free runs.
+    for strategy in STRATEGIES:
+        assert results[(strategy, 0.0)].not_ordered == 0, strategy

@@ -1,0 +1,79 @@
+"""Figure 3 — overall performance of Baseline, Gossip and Semantic Gossip.
+
+For each system size, each setup is subjected to increasing client
+workloads; the bench prints the latency-versus-throughput series with the
+paper's saturation criterion (highest throughput/latency ratio) marked,
+exactly the data behind the paper's Figure 3 panels.
+
+Shape assertions (the paper's headline findings, §4.3):
+* gossip latency exceeds Baseline latency at comparable sub-saturation load;
+* Gossip saturates at a lower workload than Baseline;
+* Semantic Gossip sustains at least the Gossip saturation throughput and
+  does not exceed Gossip latency at the Gossip saturation point.
+"""
+
+from benchmarks.conftest import (
+    FIG3_PLAN,
+    SCALE,
+    get_fig3_sweeps,
+    point_summary,
+    save_results,
+)
+from repro.analysis.tables import format_table
+from repro.runtime.sweep import find_saturation_point
+
+
+def test_fig3_overall_performance(benchmark):
+    sweeps = benchmark.pedantic(get_fig3_sweeps, rounds=1, iterations=1)
+    plan = FIG3_PLAN[SCALE]
+
+    results = {}
+    print()
+    for n in sorted(plan):
+        rows = []
+        for setup in ("baseline", "gossip", "semantic"):
+            points = sweeps[(setup, n)]
+            knee = find_saturation_point(points)
+            for index, point in enumerate(points):
+                marker = "  (*)" if index == knee else ""
+                rows.append([
+                    setup,
+                    "{:.0f}".format(point.rate),
+                    "{:.1f}".format(point.throughput),
+                    "{:.0f}{}".format(point.avg_latency_s * 1000, marker),
+                ])
+            results["{}-{}".format(setup, n)] = {
+                "points": [point_summary(p) for p in points],
+                "saturation_index": knee,
+            }
+        print(format_table(
+            ["setup", "offered /s", "throughput /s", "avg latency ms"],
+            rows,
+            title="Figure 3 panel: n={} (1KB values, (*) = saturation point)"
+            .format(n),
+        ))
+        print()
+
+    save_results("fig3_overall_performance", {"scale": SCALE, "data": results})
+
+    for n in sorted(plan):
+        baseline = sweeps[("baseline", n)]
+        gossip = sweeps[("gossip", n)]
+        semantic = sweeps[("semantic", n)]
+
+        # Gossip pays latency at the lowest (clearly sub-saturation) load.
+        assert gossip[0].avg_latency_s > baseline[0].avg_latency_s, n
+
+        # Gossip saturates no later than Baseline.
+        baseline_knee = baseline[find_saturation_point(baseline)]
+        gossip_knee = gossip[find_saturation_point(gossip)]
+        assert gossip_knee.throughput <= baseline_knee.throughput, n
+
+        # Semantic Gossip matches Gossip's saturation throughput and is no
+        # slower at that workload.
+        knee_index = find_saturation_point(gossip)
+        semantic_at_knee = semantic[knee_index]
+        assert (semantic_at_knee.throughput
+                >= 0.95 * gossip_knee.throughput), n
+        assert (semantic_at_knee.avg_latency_s
+                <= 1.05 * gossip_knee.avg_latency_s), n

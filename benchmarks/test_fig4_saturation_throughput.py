@@ -1,0 +1,67 @@
+"""Figure 4 — throughput at the saturation point, per setup and size.
+
+Summarises the Figure 3 sweeps the way the paper's bar chart does:
+absolute saturation throughput per setup, normalised against the Baseline
+setup of the same system size, plus the derived percentages the paper
+quotes in the text (Gossip 47-74% below Baseline; Semantic Gossip
+14%-2.4x above Gossip, growing with n).
+"""
+
+from benchmarks.conftest import (
+    FIG3_PLAN,
+    SCALE,
+    get_fig3_sweeps,
+    save_results,
+)
+from repro.analysis.tables import format_table
+from repro.runtime.sweep import find_saturation_point
+
+
+def _saturation_throughput(points):
+    return points[find_saturation_point(points)].throughput
+
+
+def test_fig4_saturation_throughput(benchmark):
+    sweeps = benchmark.pedantic(get_fig3_sweeps, rounds=1, iterations=1)
+    plan = FIG3_PLAN[SCALE]
+
+    rows = []
+    results = {}
+    for n in sorted(plan):
+        throughputs = {
+            setup: _saturation_throughput(sweeps[(setup, n)])
+            for setup in ("baseline", "gossip", "semantic")
+        }
+        gossip_vs_baseline = 1.0 - throughputs["gossip"] / throughputs["baseline"]
+        semantic_vs_gossip = throughputs["semantic"] / throughputs["gossip"]
+        rows.append([
+            n,
+            "{:.0f}".format(throughputs["baseline"]),
+            "{:.0f}".format(throughputs["gossip"]),
+            "{:.0f}".format(throughputs["semantic"]),
+            "-{:.0%}".format(gossip_vs_baseline),
+            "{:.2f}x".format(semantic_vs_gossip),
+        ])
+        results[n] = {
+            "throughputs": throughputs,
+            "gossip_below_baseline": gossip_vs_baseline,
+            "semantic_over_gossip": semantic_vs_gossip,
+        }
+
+    print()
+    print(format_table(
+        ["n", "baseline /s", "gossip /s", "semantic /s",
+         "gossip vs baseline", "semantic vs gossip"],
+        rows,
+        title="Figure 4: saturation throughput "
+              "(paper: gossip 47-74% below baseline; semantic >= gossip)",
+    ))
+
+    save_results("fig4_saturation_throughput", {"scale": SCALE,
+                                                "data": results})
+
+    for n, entry in results.items():
+        # Gossip below Baseline (paper: 47-74% lower).
+        assert 0.0 < entry["gossip_below_baseline"] < 0.95, n
+        # Semantic sustains at least the Gossip workload (paper: 1.14-2.4x).
+        assert entry["semantic_over_gossip"] >= 0.95, n

@@ -1,0 +1,79 @@
+"""Figure 5 — latency distributions under the same sub-saturation workload.
+
+Reproduces the CDF comparison: all three setups at the paper's 104
+submissions/s, reporting the average, standard deviation and tail
+percentiles per setup, plus the per-client (per-region) means that explain
+the step structure of the Baseline CDF.
+
+Shape assertions (paper §4.4):
+* the Baseline latency of the coordinator-region client is the lowest, and
+  per-client means grow with the region's Table 1 distance;
+* latency standard deviation is lower in the gossip setups than Baseline;
+* the Semantic Gossip tail (p99.9) does not exceed the Gossip tail.
+"""
+
+from benchmarks.conftest import FIG5_PLAN, SCALE, bench_config, save_results
+from repro.analysis.tables import format_table
+from repro.runtime.metrics import mean
+from repro.runtime.runner import run_experiment
+
+
+def run_fig5():
+    plan = FIG5_PLAN[SCALE]
+    reports = {}
+    for setup in ("baseline", "gossip", "semantic"):
+        config = bench_config(setup, plan["n"], plan["rate"], plan["values"])
+        reports[setup] = run_experiment(config)
+    return reports
+
+
+def test_fig5_latency_cdf(benchmark):
+    reports = benchmark.pedantic(run_fig5, rounds=1, iterations=1)
+
+    rows = []
+    results = {}
+    for setup, report in reports.items():
+        rows.append([
+            setup,
+            "{:.0f}".format(report.avg_latency_s * 1000),
+            "{:.0f}".format(report.latency_stddev_s * 1000),
+            "{:.0f}".format(report.median_latency_s * 1000),
+            "{:.0f}".format(report.latency_percentile_s(99) * 1000),
+            "{:.0f}".format(report.latency_percentile_s(99.9) * 1000),
+        ])
+        results[setup] = {
+            "avg_ms": report.avg_latency_s * 1000,
+            "stddev_ms": report.latency_stddev_s * 1000,
+            "p50_ms": report.median_latency_s * 1000,
+            "p99_ms": report.latency_percentile_s(99) * 1000,
+            "p999_ms": report.latency_percentile_s(99.9) * 1000,
+            "cdf": report.latency_cdf(points=60),
+            "per_client_mean_ms": {
+                client: mean(latencies) * 1000
+                for client, latencies in report.per_client_latencies_s.items()
+            },
+        }
+
+    print()
+    print(format_table(
+        ["setup", "avg ms", "stddev ms", "p50 ms", "p99 ms", "p99.9 ms"],
+        rows,
+        title="Figure 5: latency distribution at {}/s, n={}".format(
+            FIG5_PLAN[SCALE]["rate"], FIG5_PLAN[SCALE]["n"]),
+    ))
+    baseline_steps = results["baseline"]["per_client_mean_ms"]
+    print("Baseline per-region client means (the CDF steps): " + ", ".join(
+        "{}:{:.0f}".format(client, value)
+        for client, value in sorted(baseline_steps.items())
+    ))
+
+    save_results("fig5_latency_cdf", {"scale": SCALE, "data": results})
+
+    # Coordinator-region client fastest in Baseline; far regions slower.
+    assert baseline_steps[0] == min(baseline_steps.values())
+    assert baseline_steps[12] > 2 * baseline_steps[0]
+    # Gossip latencies less geographically dispersed (paper §4.4).
+    assert results["gossip"]["stddev_ms"] < results["baseline"]["stddev_ms"]
+    assert results["semantic"]["stddev_ms"] < results["baseline"]["stddev_ms"]
+    # Semantic tail no worse than Gossip tail.
+    assert results["semantic"]["p999_ms"] <= 1.1 * results["gossip"]["p999_ms"]

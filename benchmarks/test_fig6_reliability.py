@@ -1,0 +1,79 @@
+"""Figure 6 — reliability of Paxos under injected message loss.
+
+Reproduces the paper's §4.5 heatmaps: the fraction of submitted values
+NOT ordered under a (workload x injected-loss) grid, for Gossip and
+Semantic Gossip, with Paxos's timeout-triggered retransmissions disabled.
+Each cell averages several seeded runs, as in the paper.
+
+Shape assertions:
+* with loss <= 5% both setups order (nearly) everything;
+* reliability degrades as the loss rate grows;
+* up to 20% loss, Semantic Gossip is in the same reliability regime as
+  classic Gossip (the paper's headline: the semantic techniques do not
+  compromise gossip's resilience).
+"""
+
+from benchmarks.conftest import FIG6_PLAN, SCALE, bench_config, save_results
+from repro.analysis.tables import format_heatmap
+from repro.runtime.metrics import mean
+from repro.runtime.sweep import loss_grid
+
+
+def run_fig6():
+    plan = FIG6_PLAN[SCALE]
+    grids = {}
+    for setup in ("gossip", "semantic"):
+        base = bench_config(setup, plan["n"], plan["rates"][0],
+                            plan["values"], retransmit_timeout=None,
+                            drain=4.0)
+        grids[setup] = loss_grid(base, plan["loss_rates"], plan["rates"],
+                                 runs_per_cell=plan["runs"])
+    return grids
+
+
+def test_fig6_reliability(benchmark):
+    grids = benchmark.pedantic(run_fig6, rounds=1, iterations=1)
+    plan = FIG6_PLAN[SCALE]
+
+    print()
+    for setup, grid in grids.items():
+        print(format_heatmap(
+            grid,
+            row_keys=plan["loss_rates"],
+            col_keys=plan["rates"],
+            row_label="loss",
+            col_label="workload values/s",
+        ))
+        print("^ Figure 6 ({}): fraction of values not ordered, n={}\n"
+              .format(setup, plan["n"]))
+
+    save_results("fig6_reliability", {
+        "scale": SCALE,
+        "n": plan["n"],
+        "runs_per_cell": plan["runs"],
+        "data": {
+            setup: {"{}|{}".format(loss, rate): value
+                    for (loss, rate), value in grid.items()}
+            for setup, grid in grids.items()
+        },
+    })
+
+    for setup, grid in grids.items():
+        low_loss = [grid[(plan["loss_rates"][0], rate)]
+                    for rate in plan["rates"]]
+        high_loss = [grid[(plan["loss_rates"][-1], rate)]
+                     for rate in plan["rates"]]
+        # Near-perfect at the lowest injected loss rate.
+        assert mean(low_loss) < 0.10, setup
+        # Degradation with increasing loss.
+        assert mean(high_loss) >= mean(low_loss), setup
+
+    # Semantic in the same regime as Gossip at <= 20% loss (mean over the
+    # sub-30% rows within a factor; both are high-variance quantities).
+    for loss in plan["loss_rates"]:
+        if loss > 0.20:
+            continue
+        gossip_row = mean([grids["gossip"][(loss, r)] for r in plan["rates"]])
+        semantic_row = mean([grids["semantic"][(loss, r)]
+                             for r in plan["rates"]])
+        assert semantic_row <= max(0.15, 3.0 * max(gossip_row, 0.02)), loss

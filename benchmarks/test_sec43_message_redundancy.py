@@ -1,0 +1,87 @@
+"""§4.3 in-text analysis — message redundancy across setups and sizes.
+
+The paper explains its performance results through message counts:
+
+* a regular Gossip process receives a multiple (2x / 5x / 8x for
+  n = 13 / 53 / 105) of what the Baseline coordinator receives;
+* the duplicate fraction grows with the overlay degree (49% / 80% / 87%);
+* Semantic Gossip cuts received messages (up to 58% at saturation) and
+  delivered messages (16%), while preserving most of the duplicate
+  redundancy (82% vs 87% at n=105).
+
+This bench regenerates those numbers from the Figure 3 sweep data, at the
+workload nearest each size's Gossip saturation point.
+"""
+
+from benchmarks.conftest import (
+    FIG3_PLAN,
+    SCALE,
+    get_fig3_sweeps,
+    save_results,
+)
+from repro.analysis.tables import format_table
+from repro.runtime.sweep import find_saturation_point
+
+
+def test_sec43_message_redundancy(benchmark):
+    sweeps = benchmark.pedantic(get_fig3_sweeps, rounds=1, iterations=1)
+    plan = FIG3_PLAN[SCALE]
+
+    rows = []
+    results = {}
+    for n in sorted(plan):
+        knee = find_saturation_point(sweeps[("gossip", n)])
+        baseline = sweeps[("baseline", n)][knee].report.messages
+        gossip = sweeps[("gossip", n)][knee].report.messages
+        semantic = sweeps[("semantic", n)][knee].report.messages
+
+        redundancy = (gossip.received_regular_mean
+                      / max(1, baseline.received_coordinator))
+        received_cut = 1.0 - (semantic.received_regular_mean
+                              / max(1, gossip.received_regular_mean))
+        delivered_cut = 1.0 - semantic.delivered / max(1, gossip.delivered)
+        rows.append([
+            n,
+            "{:.1f}x".format(redundancy),
+            "{:.0%}".format(gossip.duplicate_fraction),
+            "{:.0%}".format(semantic.duplicate_fraction),
+            "-{:.0%}".format(received_cut),
+            "-{:.0%}".format(delivered_cut),
+        ])
+        results[n] = {
+            "redundancy_factor": redundancy,
+            "gossip_duplicate_fraction": gossip.duplicate_fraction,
+            "semantic_duplicate_fraction": semantic.duplicate_fraction,
+            "semantic_received_reduction": received_cut,
+            "semantic_delivered_reduction": delivered_cut,
+            "filtered": semantic.filtered,
+            "aggregated_saved": semantic.aggregated_saved,
+        }
+
+    print()
+    print(format_table(
+        ["n", "redundancy vs baseline coord", "gossip dup",
+         "semantic dup", "semantic received", "semantic delivered"],
+        rows,
+        title="Sec. 4.3: message redundancy at the Gossip saturation "
+              "workload (paper: 2x/5x/8x, 49%/80%/87% dup, -58% recv, "
+              "-16% delivered)",
+    ))
+
+    save_results("sec43_message_redundancy", {"scale": SCALE,
+                                              "data": results})
+
+    sizes = sorted(plan)
+    # Redundancy factor and duplicate fraction grow with system size
+    # (compare the extremes: adjacent sizes can tie at quick scale).
+    factors = [results[n]["redundancy_factor"] for n in sizes]
+    assert factors[-1] >= 0.9 * factors[0]
+    assert all(f > 1.5 for f in factors)
+    dups = [results[n]["gossip_duplicate_fraction"] for n in sizes]
+    assert dups[0] < dups[-1]
+    for n in sizes:
+        entry = results[n]
+        # Semantic techniques cut traffic but keep duplicate redundancy.
+        assert entry["semantic_received_reduction"] > 0.1, n
+        assert (entry["semantic_duplicate_fraction"]
+                > 0.5 * entry["gossip_duplicate_fraction"]), n

@@ -1,0 +1,63 @@
+"""Table 1 — WAN latencies between North Virginia and the other regions.
+
+Regenerates the paper's Table 1 by actually measuring it: a ping payload
+is sent from the coordinator process to one process per region over the
+simulated channels, and the observed one-way delays are compared against
+the published values. This validates that the substrate's latency model —
+which every other experiment rides on — is wired correctly end to end.
+"""
+
+from benchmarks.conftest import save_results
+from repro.analysis.tables import format_table
+from repro.net.channel import DirectedLink, LinkConfig
+from repro.net.message import RawPayload
+from repro.net.regions import REGIONS, TABLE1_LATENCY_MS
+from repro.net.topology import Topology
+from repro.sim.kernel import Simulator
+
+
+def measure_one_way_latencies():
+    """Ping every region from the coordinator; returns {region: ms}."""
+    sim = Simulator(seed=0)
+    topology = Topology(13)
+    # Zero-cost links: isolate pure propagation delay.
+    config = LinkConfig(per_message_s=0.0, per_byte_s=0.0)
+    arrivals = {}
+
+    def deliver_factory(region_index):
+        def deliver(src, payload):
+            arrivals[REGIONS[region_index]] = sim.now - payload.data
+
+        return deliver
+
+    for region_index in range(1, 13):
+        link = DirectedLink(sim, 0, region_index,
+                            topology.latency_s(0, region_index), config,
+                            deliver_factory(region_index))
+        link.transmit(RawPayload(("ping", region_index), 64, data=sim.now))
+    sim.run()
+    return {region: delay * 1000.0 for region, delay in arrivals.items()}
+
+
+def test_table1_wan_latencies(benchmark):
+    measured = benchmark.pedantic(measure_one_way_latencies,
+                                  rounds=1, iterations=1)
+
+    rows = []
+    for region in REGIONS[1:]:
+        rows.append([region,
+                     "{:.0f}".format(TABLE1_LATENCY_MS[region]),
+                     "{:.0f}".format(measured[region])])
+    print()
+    print(format_table(
+        ["region", "paper Table 1 (ms)", "measured (ms)"], rows,
+        title="Table 1: one-way WAN latency from North Virginia",
+    ))
+
+    save_results("table1_wan_latencies", {
+        "paper_ms": TABLE1_LATENCY_MS,
+        "measured_ms": measured,
+    })
+
+    for region in REGIONS[1:]:
+        assert abs(measured[region] - TABLE1_LATENCY_MS[region]) < 0.5, region

@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Reliability under message loss (the paper's §4.5 experiment, scaled).
+
+Injects receiver-side message loss into Paxos running over classic and
+Semantic Gossip, with the protocol's timeout-triggered retransmissions
+DISABLED — so only gossip's path redundancy stands between a lost message
+and a failed consensus instance. A single failed instance blocks delivery
+of everything after it (total order, no gaps), which is why reliability
+falls off a cliff rather than degrading linearly.
+
+Run:  python examples/failure_injection.py
+"""
+
+from repro import ExperimentConfig, loss_grid
+from repro.analysis.tables import format_heatmap
+
+LOSS_RATES = (0.0, 0.05, 0.10, 0.20, 0.30)
+RATES = (40.0, 120.0)
+
+
+def main():
+    for setup in ("gossip", "semantic"):
+        base = ExperimentConfig(
+            setup=setup,
+            n=13,
+            warmup=1.0,
+            duration=1.5,
+            drain=4.0,
+            seed=5,
+            retransmit_timeout=None,  # §4.5: timeouts disabled
+        )
+        grid = loss_grid(base, LOSS_RATES, RATES, runs_per_cell=3)
+        print(format_heatmap(
+            grid,
+            row_keys=list(LOSS_RATES),
+            col_keys=list(RATES),
+            row_label="loss",
+            col_label="client workload (values/s)",
+        ))
+        print("^ {}: fraction of submitted values NOT ordered "
+              "(blank = all ordered)\n".format(setup))
+
+    print("As in the paper: below ~10% injected loss gossip's redundancy")
+    print("masks every drop; past 20% instances start dying and, because")
+    print("delivery is gap-free, everything behind a dead instance stalls.")
+
+
+if __name__ == "__main__":
+    main()

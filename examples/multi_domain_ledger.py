@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""A permissioned ledger across administrative domains.
+
+The paper's motivating scenario (§1): organisations in different
+administrative domains jointly run consensus, but no organisation's
+processes can open connections to every process of every other domain —
+some sit behind firewalls. Gossip over a sparse random overlay is the
+communication substrate that makes consensus possible at all; Semantic
+Gossip makes it efficient.
+
+This example models a 27-process committee (2+ processes per region),
+submits a block workload from every region, and contrasts classic gossip
+with Semantic Gossip on the metrics an operator would watch: commit
+latency, sustained throughput, and network amplification.
+
+Run:  python examples/multi_domain_ledger.py
+"""
+
+from repro import ExperimentConfig, run_experiment
+from repro.analysis.stats import summarize
+from repro.analysis.tables import format_table
+from repro.runtime.sweep import overlay_median_rtt_ms
+
+
+def run_committee(setup, rate):
+    config = ExperimentConfig(
+        setup=setup,
+        n=27,
+        rate=rate,
+        value_size=1024,     # a small block
+        warmup=1.0,
+        duration=2.0,
+        drain=3.0,
+        seed=21,
+        overlay_seed=4,      # the same overlay for both setups (§4.2)
+    )
+    return config, run_experiment(config)
+
+
+def main():
+    print("Committee: 27 processes across 13 regions; each process opens")
+    config = ExperimentConfig(setup="gossip", n=27, overlay_seed=4)
+    print("k={} connections; overlay median coordinator RTT: {:.0f} ms".format(
+        config.effective_k, overlay_median_rtt_ms(config, 4)))
+    print()
+
+    rows = []
+    for setup in ("gossip", "semantic"):
+        for rate in (60.0, 240.0):
+            _, report = run_committee(setup, rate)
+            latency = summarize(report.latencies_s)
+            rows.append([
+                setup,
+                "{:.0f}".format(rate),
+                "{:.0f}".format(latency["mean"] * 1000),
+                "{:.0f}".format(latency["p99"] * 1000),
+                "{:.0f}".format(report.throughput),
+                report.messages.received_total,
+                "{:.0f}".format(
+                    report.messages.received_regular_mean / max(1, report.decided)
+                ),
+            ])
+
+    print(format_table(
+        ["substrate", "offered /s", "avg commit (ms)", "p99 (ms)",
+         "committed /s", "msgs total", "msgs/process/block"],
+        rows,
+        title="Ledger commit performance, classic vs. semantic gossip",
+    ))
+    print()
+    print("Semantic Gossip commits the same blocks with a fraction of the")
+    print("network traffic — headroom that postpones saturation (paper §4.3).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Overlay-network selection (the paper's Fig. 7 methodology, scaled).
+
+Random overlays differ in how close — in RTT through the overlay — the
+coordinator is to everyone else, and that median RTT largely dictates
+Paxos latency. The paper generates 100 overlays, measures each under a
+minimal workload, orders them by (median RTT, latency) and adopts the
+median one for its core experiments. This example reproduces that
+workflow at a reduced scale and prints the ranking.
+
+Run:  python examples/overlay_selection.py
+"""
+
+from repro import ExperimentConfig, overlay_sweep, select_median_overlay
+from repro.analysis.tables import format_table
+
+NUM_OVERLAYS = 12
+
+
+def main():
+    base = ExperimentConfig(
+        setup="gossip",
+        n=13,
+        rate=20.0,        # minimal workload, as in Fig. 7
+        warmup=1.0,
+        duration=1.5,
+        drain=2.5,
+        seed=2,
+    )
+    points = overlay_sweep(base, overlay_seeds=range(NUM_OVERLAYS))
+    chosen = select_median_overlay(points)
+
+    rows = []
+    for point in sorted(points, key=lambda p: (p.median_rtt_ms,
+                                               p.report.avg_latency_s)):
+        marker = "  <-- selected" if point is chosen else ""
+        rows.append([
+            point.overlay_seed,
+            "{:.0f}".format(point.median_rtt_ms),
+            "{:.0f}{}".format(point.report.avg_latency_s * 1000, marker),
+        ])
+    print(format_table(
+        ["overlay seed", "median coord RTT (ms)", "avg latency (ms)"],
+        rows,
+        title="{} random overlays under minimal workload (n=13)".format(
+            NUM_OVERLAYS),
+    ))
+    print()
+    print("Median RTT orders overlays well but not perfectly — overlays with")
+    print("equal median RTT still differ in latency (paper §4.6). The median")
+    print("overlay (seed {}) would be enforced in the core experiments."
+          .format(chosen.overlay_seed))
+
+
+if __name__ == "__main__":
+    main()

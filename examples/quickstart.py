@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Quickstart: Paxos over the three communication substrates.
+
+Runs the paper's three setups — Baseline (direct links), Gossip (classic
+push gossip), Semantic Gossip (gossip + consensus-aware filtering and
+aggregation) — at a small scale and prints the side-by-side comparison
+the paper's evaluation is built around.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import ExperimentConfig, run_experiment
+from repro.analysis.tables import format_table
+
+
+def main():
+    rows = []
+    for setup in ("baseline", "gossip", "semantic"):
+        config = ExperimentConfig(
+            setup=setup,
+            n=13,            # one process per AWS region, as in the paper
+            rate=100.0,      # total client submissions/s (13 regional clients)
+            value_size=1024, # the paper's 1 KB values
+            warmup=1.0,
+            duration=2.0,
+            drain=3.0,
+            seed=1,
+        )
+        report = run_experiment(config)
+        messages = report.messages
+        rows.append([
+            setup,
+            "{:.1f}".format(report.avg_latency_s * 1000),
+            "{:.1f}".format(report.latency_percentile_s(99) * 1000),
+            "{:.0f}".format(report.throughput),
+            messages.received_total,
+            "{:.0%}".format(messages.duplicate_fraction),
+            messages.filtered,
+            messages.aggregated_saved,
+        ])
+
+    print(format_table(
+        ["setup", "avg lat (ms)", "p99 (ms)", "thr (/s)",
+         "msgs received", "duplicates", "filtered", "agg. saved"],
+        rows,
+        title="Paxos over three communication substrates (n=13, 1KB values)",
+    ))
+    print()
+    print("Reading the table the way the paper does (Sections 4.3):")
+    print(" * Gossip pays a latency overhead versus Baseline — the cost of")
+    print("   multi-hop dissemination over a partially connected overlay.")
+    print(" * Semantic Gossip removes a large share of the gossip traffic")
+    print("   (filtered + aggregated votes) without losing any decision.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Setuptools entry point (legacy path for environments without `wheel`)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,6 @@
+"""Result analysis and paper-style rendering."""
+
+from repro.analysis.stats import cdf_points, summarize
+from repro.analysis.tables import format_table, format_heatmap
+
+__all__ = ["cdf_points", "summarize", "format_table", "format_heatmap"]

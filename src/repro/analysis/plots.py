@@ -1,0 +1,160 @@
+"""ASCII charts for benchmark artifacts.
+
+Renders the paper's figures as terminal plots from the JSON files under
+``benchmarks/results/``::
+
+    python -m repro.analysis.plots            # all available figures
+    python -m repro.analysis.plots fig3 fig8  # a selection
+
+The renderer is deliberately plain: a fixed-size character grid, one mark
+per series, axes annotated with min/max. It exists so a reader can *see*
+the latency-throughput knees, the RTT-latency correlation and the CDF
+shapes without a plotting stack.
+"""
+
+import json
+import pathlib
+import sys
+
+#: Mark characters per series, in plot order.
+MARKS = "ox*+#@"
+
+
+def scatter(series, width=72, height=20, xlabel="", ylabel="", title=""):
+    """Render named point series on one grid.
+
+    ``series`` is a list of (name, [(x, y), ...]) pairs. Returns a string.
+    """
+    points = [(x, y) for _, pts in series for x, y in pts]
+    if not points:
+        return "(no data)"
+    xs = [x for x, _ in points]
+    ys = [y for _, y in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (_, pts) in enumerate(series):
+        mark = MARKS[index % len(MARKS)]
+        for x, y in pts:
+            col = int((x - x_lo) / x_span * (width - 1))
+            row = height - 1 - int((y - y_lo) / y_span * (height - 1))
+            grid[row][col] = mark
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("{:.6g} {}".format(y_hi, ylabel))
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(" {:<.6g}{}{:>.6g}  {}".format(
+        x_lo, " " * max(1, width - 24), x_hi, xlabel))
+    legend = "   ".join("{} {}".format(MARKS[i % len(MARKS)], name)
+                        for i, (name, _) in enumerate(series))
+    lines.append(legend)
+    return "\n".join(lines)
+
+
+def _load(results_dir, name):
+    path = results_dir / "{}.json".format(name)
+    if not path.exists():
+        return None
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def plot_fig3(results_dir):
+    """Latency-vs-throughput curves per setup, one chart per system size."""
+    payload = _load(results_dir, "fig3_overall_performance")
+    if payload is None:
+        return None
+    charts = []
+    sizes = sorted({int(key.rsplit("-", 1)[1]) for key in payload["data"]})
+    for n in sizes:
+        series = []
+        for setup in ("baseline", "gossip", "semantic"):
+            points = payload["data"]["{}-{}".format(setup, n)]["points"]
+            series.append((setup, [(p["throughput"], p["avg_latency_ms"])
+                                   for p in points]))
+        charts.append(scatter(
+            series, xlabel="throughput (values/s)", ylabel="avg latency ms",
+            title="Figure 3 - n={}".format(n)))
+    return "\n\n".join(charts)
+
+
+def plot_fig5(results_dir):
+    """Latency CDFs of the three setups."""
+    payload = _load(results_dir, "fig5_latency_cdf")
+    if payload is None:
+        return None
+    series = []
+    for setup in ("baseline", "gossip", "semantic"):
+        cdf = payload["data"][setup]["cdf"]
+        series.append((setup, [(x * 1000.0, y) for x, y in cdf]))
+    return scatter(series, xlabel="latency ms", ylabel="CDF",
+                   title="Figure 5 - latency distributions")
+
+
+def plot_fig7(results_dir):
+    """Median coordinator RTT vs measured latency across overlays."""
+    payload = _load(results_dir, "fig7_overlay_selection")
+    if payload is None:
+        return None
+    points = [(p["median_rtt_ms"], p["avg_latency_ms"])
+              for p in payload["points"]]
+    return scatter([("overlay", points)],
+                   xlabel="median coordinator RTT ms",
+                   ylabel="avg latency ms",
+                   title="Figure 7 - overlays under minimal workload")
+
+
+def plot_fig8(results_dir):
+    """Gossip vs Semantic Gossip latency across the same overlays."""
+    payload = _load(results_dir, "fig8_overlay_comparison")
+    if payload is None:
+        return None
+    gossip = [(p["median_rtt_ms"], p["gossip_latency_ms"])
+              for p in payload["points"]]
+    semantic = [(p["median_rtt_ms"], p["semantic_latency_ms"])
+                for p in payload["points"]]
+    return scatter([("gossip", gossip), ("semantic", semantic)],
+                   xlabel="median coordinator RTT ms",
+                   ylabel="avg latency ms",
+                   title="Figure 8 - Gossip vs Semantic Gossip per overlay")
+
+
+PLOTS = {
+    "fig3": plot_fig3,
+    "fig5": plot_fig5,
+    "fig7": plot_fig7,
+    "fig8": plot_fig8,
+}
+
+
+def main(argv=None):
+    argv = argv if argv is not None else sys.argv[1:]
+    results_dir = pathlib.Path(__file__).resolve().parents[3] \
+        / "benchmarks" / "results"
+    names = argv or sorted(PLOTS)
+    shown = 0
+    for name in names:
+        plot_fn = PLOTS.get(name)
+        if plot_fn is None:
+            print("unknown figure {!r}; available: {}".format(
+                name, ", ".join(sorted(PLOTS))))
+            return 2
+        chart = plot_fn(results_dir)
+        if chart is None:
+            print("({}: no results file yet — run the benchmarks)".format(name))
+            continue
+        print(chart)
+        print()
+        shown += 1
+    return 0 if shown else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,32 @@
+"""Small statistics helpers shared by benches and examples."""
+
+from repro.runtime.metrics import mean, percentile, stddev
+
+
+def cdf_points(samples, max_points=200):
+    """Empirical CDF as (value, cumulative fraction) pairs."""
+    xs = sorted(samples)
+    n = len(xs)
+    if n == 0:
+        return []
+    step = max(1, n // max_points)
+    points = [(xs[i], (i + 1) / n) for i in range(0, n, step)]
+    if points[-1][1] != 1.0:
+        points.append((xs[-1], 1.0))
+    return points
+
+
+def summarize(samples):
+    """Mean, stddev and common percentiles of a sample list."""
+    xs = sorted(samples)
+    return {
+        "count": len(xs),
+        "mean": mean(xs),
+        "stddev": stddev(xs),
+        "p50": percentile(xs, 50.0),
+        "p90": percentile(xs, 90.0),
+        "p99": percentile(xs, 99.0),
+        "p99.9": percentile(xs, 99.9),
+        "min": xs[0] if xs else 0.0,
+        "max": xs[-1] if xs else 0.0,
+    }

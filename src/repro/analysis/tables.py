@@ -1,0 +1,48 @@
+"""ASCII renderers for paper-style tables and heatmaps.
+
+The benchmark harness prints the same rows/series the paper reports; these
+helpers keep that output aligned and readable in test logs.
+"""
+
+
+def format_table(headers, rows, title=None):
+    """Fixed-width table; cells are stringified with str()."""
+    columns = [[str(h)] for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            columns[index].append(str(cell))
+    widths = [max(len(cell) for cell in column) for column in columns]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in rows:
+        lines.append(
+            "  ".join(str(cell).ljust(w) for cell, w in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def format_heatmap(grid, row_keys, col_keys, cell_format="{:.1%}",
+                   row_label="", col_label="", empty="  .  "):
+    """Render a dict[(row, col)] -> value grid as the paper's Fig. 6 matrix.
+
+    Zero cells render as ``empty`` — mirroring the paper's white cells for
+    configurations in which every submitted value was ordered.
+    """
+    lines = []
+    header = [str(row_label or "")] + [str(c) for c in col_keys]
+    widths = [max(8, len(h)) for h in header]
+    lines.append("  ".join(h.rjust(w) for h, w in zip(header, widths)))
+    for row in row_keys:
+        cells = [str(row).rjust(widths[0])]
+        for index, col in enumerate(col_keys):
+            value = grid.get((row, col), 0.0)
+            text = empty if value == 0 else cell_format.format(value)
+            cells.append(text.rjust(widths[index + 1]))
+        lines.append("  ".join(cells))
+    if col_label:
+        lines.append("(columns: {})".format(col_label))
+    return "\n".join(lines)

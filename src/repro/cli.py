@@ -1,0 +1,205 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Exposes the experiment harness without writing Python:
+
+* ``run``         — one experiment, one setup; prints the report.
+* ``compare``     — the same workload across all three setups.
+* ``sweep``       — a workload sweep with the saturation point marked.
+* ``overlays``    — the Fig. 7 overlay-ranking methodology.
+* ``reliability`` — the Fig. 6 loss x workload grid.
+
+All commands accept ``--seed`` and print deterministic results.
+"""
+
+import argparse
+import sys
+
+from repro.analysis.tables import format_heatmap, format_table
+from repro.runtime.config import SETUPS, ExperimentConfig
+from repro.runtime.runner import run_experiment
+from repro.runtime.sweep import (
+    find_saturation_point,
+    loss_grid,
+    overlay_sweep,
+    select_median_overlay,
+    workload_sweep,
+)
+
+
+def _add_common(parser):
+    parser.add_argument("--n", type=int, default=13,
+                        help="system size (default 13: one per region)")
+    parser.add_argument("--rate", type=float, default=100.0,
+                        help="total client submissions/s")
+    parser.add_argument("--value-size", type=int, default=1024)
+    parser.add_argument("--duration", type=float, default=2.0)
+    parser.add_argument("--warmup", type=float, default=1.0)
+    parser.add_argument("--drain", type=float, default=3.0)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--loss", type=float, default=0.0,
+                        help="injected receiver-side message loss rate")
+    parser.add_argument("--protocol", choices=("paxos", "raft"),
+                        default="paxos")
+    parser.add_argument("--strategy", choices=("push", "pull", "push-pull"),
+                        default="push", help="gossip dissemination strategy")
+    parser.add_argument("--retransmit", type=float, default=None,
+                        help="retransmission timeout (default: disabled)")
+
+
+def _config(args, setup, **overrides):
+    params = dict(
+        setup=setup,
+        protocol=args.protocol,
+        n=args.n,
+        rate=args.rate,
+        value_size=args.value_size,
+        duration=args.duration,
+        warmup=args.warmup,
+        drain=args.drain,
+        seed=args.seed,
+        loss_rate=args.loss,
+        gossip_strategy=args.strategy,
+        retransmit_timeout=args.retransmit,
+    )
+    params.update(overrides)
+    return ExperimentConfig(**params)
+
+
+def _report_row(setup, report):
+    messages = report.messages
+    return [
+        setup,
+        "{:.1f}".format(report.avg_latency_s * 1000),
+        "{:.1f}".format(report.latency_percentile_s(99) * 1000),
+        "{:.1f}".format(report.throughput),
+        "{:.1%}".format(report.not_ordered_fraction),
+        messages.received_total,
+        "{:.0%}".format(messages.duplicate_fraction),
+        messages.filtered,
+        messages.aggregated_saved,
+    ]
+
+
+_REPORT_HEADERS = ["setup", "avg ms", "p99 ms", "thr /s", "not ordered",
+                   "msgs recv", "dup", "filtered", "agg saved"]
+
+
+def cmd_run(args):
+    """Run one experiment with one setup and print its report."""
+    report = run_experiment(_config(args, args.setup))
+    print(format_table(_REPORT_HEADERS, [_report_row(args.setup, report)],
+                       title="{} / {} / n={} @ {}/s".format(
+                           args.protocol, args.setup, args.n, args.rate)))
+    return 0
+
+
+def cmd_compare(args):
+    """Run the same workload across the three setups."""
+    rows = []
+    for setup in SETUPS:
+        report = run_experiment(_config(args, setup))
+        rows.append(_report_row(setup, report))
+    print(format_table(_REPORT_HEADERS, rows,
+                       title="{} / n={} @ {}/s".format(
+                           args.protocol, args.n, args.rate)))
+    return 0
+
+
+def cmd_sweep(args):
+    """Workload sweep with the saturation point marked."""
+    rates = [float(r) for r in args.rates.split(",")]
+    points = workload_sweep(_config(args, args.setup), rates)
+    knee = find_saturation_point(points)
+    rows = []
+    for index, point in enumerate(points):
+        marker = "  (saturation)" if index == knee else ""
+        rows.append([
+            "{:.0f}".format(point.rate),
+            "{:.1f}".format(point.throughput),
+            "{:.1f}{}".format(point.avg_latency_s * 1000, marker),
+        ])
+    print(format_table(["offered /s", "throughput /s", "avg latency ms"],
+                       rows, title="{} / n={}".format(args.setup, args.n)))
+    return 0
+
+
+def cmd_overlays(args):
+    """Rank random overlays by median coordinator RTT (Fig. 7)."""
+    base = _config(args, "gossip")
+    points = overlay_sweep(base, overlay_seeds=range(args.count))
+    chosen = select_median_overlay(points)
+    rows = []
+    for point in sorted(points, key=lambda p: (p.median_rtt_ms,
+                                               p.report.avg_latency_s)):
+        marker = "  (median)" if point is chosen else ""
+        rows.append([point.overlay_seed,
+                     "{:.0f}".format(point.median_rtt_ms),
+                     "{:.0f}{}".format(point.report.avg_latency_s * 1000,
+                                       marker)])
+    print(format_table(["overlay seed", "median RTT ms", "avg latency ms"],
+                       rows, title="{} overlays, n={}".format(args.count,
+                                                              args.n)))
+    return 0
+
+
+def cmd_reliability(args):
+    """Loss x workload reliability grids for both gossip setups (Fig. 6)."""
+    loss_rates = [float(x) for x in args.losses.split(",")]
+    rates = [float(x) for x in args.rates.split(",")]
+    for setup in ("gossip", "semantic"):
+        grid = loss_grid(_config(args, setup), loss_rates, rates,
+                         runs_per_cell=args.runs)
+        print(format_heatmap(grid, row_keys=loss_rates, col_keys=rates,
+                             row_label="loss", col_label="values/s"))
+        print("^ {}: fraction of values not ordered\n".format(setup))
+    return 0
+
+
+def build_parser():
+    """Construct the argparse parser with all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Gossip Consensus (Middleware '21) experiment harness",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("run", help="run one experiment")
+    p.add_argument("--setup", choices=SETUPS, default="semantic")
+    _add_common(p)
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("compare", help="same workload, all three setups")
+    _add_common(p)
+    p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser("sweep", help="workload sweep with saturation point")
+    p.add_argument("--setup", choices=SETUPS, default="gossip")
+    p.add_argument("--rates", default="50,100,200,400,800",
+                   help="comma-separated total submission rates")
+    _add_common(p)
+    p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser("overlays", help="rank random overlays (Fig. 7)")
+    p.add_argument("--count", type=int, default=12)
+    _add_common(p)
+    p.set_defaults(func=cmd_overlays)
+
+    p = sub.add_parser("reliability", help="loss x workload grid (Fig. 6)")
+    p.add_argument("--losses", default="0.05,0.1,0.2,0.3")
+    p.add_argument("--rates", default="40,80")
+    p.add_argument("--runs", type=int, default=2)
+    _add_common(p)
+    p.set_defaults(func=cmd_reliability)
+
+    return parser
+
+
+def main(argv=None):
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

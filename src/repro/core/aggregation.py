@@ -1,0 +1,84 @@
+"""Semantic aggregation rule for Paxos (paper §3.2).
+
+A single, reversible rule: Phase 2b messages pending for the same peer that
+refer to the same instance, round and value — so they differ only by their
+senders — are replaced by one :class:`repro.paxos.messages.Aggregated2b`
+carrying the union of the senders. The aggregated message takes the list
+position of the first message it replaces; messages not prone to
+aggregation are left untouched and keep their relative order. Aggregated
+votes received from elsewhere participate too ("they can be semantically
+aggregated again").
+
+The rule is opportunistic: it only does anything when the send routine has
+accumulated several pending messages, i.e. under moderate-to-high load —
+and, unlike batching, it never delays a send (paper §3.2).
+"""
+
+from repro.paxos.messages import Aggregated2b, Phase2b
+
+
+def _vote_key_and_senders(payload):
+    """(group key, senders) for vote messages; (None, None) otherwise."""
+    kind = type(payload)
+    if kind is Phase2b:
+        # uid = ("2B", instance, round, sender, attempt)
+        return ((payload.instance, payload.round, payload.value_id,
+                 payload.uid[4]), (payload.sender,))
+    if kind is Aggregated2b:
+        return ((payload.instance, payload.round, payload.value_id,
+                 payload.attempt), payload.senders)
+    return (None, None)
+
+
+class SemanticAggregator:
+    """Groups identical pending votes into multi-sender votes."""
+
+    __slots__ = ("votes_absorbed", "aggregates_built")
+
+    def __init__(self):
+        self.votes_absorbed = 0
+        self.aggregates_built = 0
+
+    def aggregate(self, payloads, peer_id):
+        """Return the replacement send list (order-preserving)."""
+        keys = []
+        groups = {}
+        for payload in payloads:
+            key, senders = _vote_key_and_senders(payload)
+            keys.append(key)
+            if key is None:
+                continue
+            group = groups.get(key)
+            if group is None:
+                groups[key] = [set(senders), 1]
+            else:
+                group[0].update(senders)
+                group[1] += 1
+
+        if not any(group[1] >= 2 for group in groups.values()):
+            return payloads
+
+        result = []
+        emitted = set()
+        for payload, key in zip(payloads, keys):
+            if key is None:
+                result.append(payload)
+                continue
+            senders, count = groups[key]
+            if count < 2:
+                result.append(payload)
+                continue
+            if key in emitted:
+                continue  # absorbed into the aggregate emitted earlier
+            emitted.add(key)
+            instance, round_, value_id, attempt = key
+            result.append(Aggregated2b(instance, round_, value_id, senders, attempt))
+            self.aggregates_built += 1
+            self.votes_absorbed += count - 1
+        return result
+
+    def disaggregate(self, payload):
+        """Reconstruct the original votes (reversible rule)."""
+        if type(payload) is Aggregated2b:
+            return payload.disaggregate()
+        return [payload]

@@ -1,0 +1,182 @@
+"""Semantic Gossip rules for Raft (paper §5.1 applied).
+
+The translation of the paper's Paxos rules is direct:
+
+* **filtering** — an AppendAck for index i is *obsolete* for a peer that
+  was already sent a CommitNotice (or an AppendEntries whose
+  ``leader_commit``) covering i; it is *redundant* once identical acks
+  from a majority of senders were sent to that peer. Commitment is a
+  watermark, so per-peer state is a single integer plus the ack-sender
+  sets of uncommitted indices — even cheaper than the Paxos summary.
+* **aggregation** — acks for the same (term, index) differing only by
+  sender merge into one :class:`repro.raft.messages.AggregatedAck`
+  (reversible).
+
+As required by the paper's modularity principle, nothing here changes the
+Raft implementation; these are hooks of the gossip layer.
+"""
+
+from repro.core.filtering import FilterStats
+from repro.gossip.hooks import SemanticHooks
+from repro.raft.messages import (
+    AggregatedAck,
+    AppendAck,
+    AppendEntries,
+    CommitNotice,
+)
+
+
+class _RaftPeerSummary:
+    __slots__ = ("commit_watermark", "ack_senders")
+
+    def __init__(self):
+        self.commit_watermark = 0
+        #: (term, index) -> senders whose acks were sent to the peer.
+        self.ack_senders = {}
+
+    def raise_watermark(self, index):
+        if index > self.commit_watermark:
+            self.commit_watermark = index
+            for key in [k for k in self.ack_senders if k[1] <= index]:
+                del self.ack_senders[key]
+
+
+class RaftSemanticFilter:
+    """Per-peer evaluation of the Raft filtering rules."""
+
+    __slots__ = ("majority", "stats", "_peers")
+
+    def __init__(self, n):
+        self.majority = n // 2 + 1
+        self.stats = FilterStats()
+        self._peers = {}
+
+    def _summary(self, peer_id):
+        summary = self._peers.get(peer_id)
+        if summary is None:
+            summary = _RaftPeerSummary()
+            self._peers[peer_id] = summary
+        return summary
+
+    def validate(self, payload, peer_id):
+        kind = type(payload)
+        if kind is AppendAck:
+            return self._validate_ack(payload.term, payload.index,
+                                      (payload.sender,), peer_id)
+        if kind is AggregatedAck:
+            return self._validate_ack(payload.term, payload.index,
+                                      payload.senders, peer_id)
+        if kind is CommitNotice:
+            self._summary(peer_id).raise_watermark(payload.index)
+        elif kind is AppendEntries:
+            # The commit watermark rides on AppendEntries too.
+            self._summary(peer_id).raise_watermark(payload.leader_commit)
+        return True
+
+    def _validate_ack(self, term, index, senders, peer_id):
+        stats = self.stats
+        stats.evaluated += 1
+        summary = self._summary(peer_id)
+        if index <= summary.commit_watermark:
+            stats.filtered_obsolete += 1
+            return False
+        key = (term, index)
+        sent = summary.ack_senders.get(key)
+        if sent is None:
+            sent = set()
+            summary.ack_senders[key] = sent
+        if len(sent) >= self.majority:
+            stats.filtered_redundant += 1
+            return False
+        sent.update(senders)
+        if len(sent) >= self.majority:
+            # The peer can now learn the commit from the acks we sent.
+            summary.raise_watermark(index)
+        stats.passed += 1
+        return True
+
+
+class RaftAggregator:
+    """Merge identical pending acks into multi-sender acks."""
+
+    __slots__ = ("acks_absorbed", "aggregates_built")
+
+    def __init__(self):
+        self.acks_absorbed = 0
+        self.aggregates_built = 0
+
+    @staticmethod
+    def _key_and_senders(payload):
+        kind = type(payload)
+        if kind is AppendAck:
+            # uid = ("ACK", term, index, sender, attempt)
+            return ((payload.term, payload.index, payload.uid[4]),
+                    (payload.sender,))
+        if kind is AggregatedAck:
+            return ((payload.term, payload.index, payload.attempt),
+                    payload.senders)
+        return (None, None)
+
+    def aggregate(self, payloads, peer_id):
+        keys = []
+        groups = {}
+        for payload in payloads:
+            key, senders = self._key_and_senders(payload)
+            keys.append(key)
+            if key is None:
+                continue
+            group = groups.get(key)
+            if group is None:
+                groups[key] = [set(senders), 1]
+            else:
+                group[0].update(senders)
+                group[1] += 1
+        if not any(group[1] >= 2 for group in groups.values()):
+            return payloads
+        result = []
+        emitted = set()
+        for payload, key in zip(payloads, keys):
+            if key is None:
+                result.append(payload)
+                continue
+            senders, count = groups[key]
+            if count < 2:
+                result.append(payload)
+                continue
+            if key in emitted:
+                continue
+            emitted.add(key)
+            term, index, attempt = key
+            result.append(AggregatedAck(term, index, senders, attempt))
+            self.aggregates_built += 1
+            self.acks_absorbed += count - 1
+        return result
+
+    def disaggregate(self, payload):
+        if type(payload) is AggregatedAck:
+            return payload.disaggregate()
+        return [payload]
+
+
+class RaftSemantics(SemanticHooks):
+    """validate/aggregate/disaggregate with Raft knowledge."""
+
+    def __init__(self, n, enable_filtering=True, enable_aggregation=True):
+        self.n = n
+        self.enable_filtering = enable_filtering
+        self.enable_aggregation = enable_aggregation
+        self.filter = RaftSemanticFilter(n) if enable_filtering else None
+        self.aggregator = RaftAggregator()
+
+    def validate(self, payload, peer_id):
+        if self.filter is None:
+            return True
+        return self.filter.validate(payload, peer_id)
+
+    def aggregate(self, payloads, peer_id):
+        if not self.enable_aggregation:
+            return payloads
+        return self.aggregator.aggregate(payloads, peer_id)
+
+    def disaggregate(self, payload):
+        return self.aggregator.disaggregate(payload)

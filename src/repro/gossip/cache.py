@@ -1,0 +1,44 @@
+"""Recently-seen message cache (paper §3.3).
+
+Bounded, insertion-ordered set of message unique identifiers used for
+duplicate suppression in the push dissemination. As in the paper, the cache
+stores ids only (not messages), so its memory footprint is small and
+constant; when full, the oldest id is evicted, which means duplicate
+suppression is probabilistic — exactly the paper's "no actual guarantee of
+deliver-and-forward-once" behaviour.
+"""
+
+
+class RecentlySeenCache:
+    """Bounded FIFO set of hashable message ids."""
+
+    __slots__ = ("capacity", "_entries", "registered", "hits", "evictions")
+
+    def __init__(self, capacity=100_000):
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._entries = {}
+        self.registered = 0
+        self.hits = 0
+        self.evictions = 0
+
+    def __len__(self):
+        return len(self._entries)
+
+    def __contains__(self, uid):
+        return uid in self._entries
+
+    def register(self, uid):
+        """Record ``uid``; returns True if it was not present (fresh)."""
+        entries = self._entries
+        if uid in entries:
+            self.hits += 1
+            return False
+        entries[uid] = None
+        self.registered += 1
+        if len(entries) > self.capacity:
+            # dicts preserve insertion order: the first key is the oldest.
+            entries.pop(next(iter(entries)))
+            self.evictions += 1
+        return True

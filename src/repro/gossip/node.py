@@ -1,0 +1,266 @@
+"""The gossip layer of one process (paper Figure 2).
+
+Architecture per the paper's §3.3:
+
+* a *broadcast* path — locally broadcast messages are registered in the
+  recently-seen cache, delivered to the application, and added to every
+  peer's send queue;
+* a *receive* path — messages arriving from a peer go through the
+  duplication check; fresh messages are delivered and added to all send
+  queues except the origin peer's;
+* one *send routine per peer* — drains that peer's send queue onto the
+  link, applying the semantic ``validate`` filter per message and, when the
+  queue holds several pending messages, the semantic ``aggregate`` hook.
+
+Saturation model: all application-visible work (duplicate checks, delivery,
+forward fan-out) is charged to a single per-process CPU server; each link
+additionally charges transmission time. See DESIGN.md §5.2.
+"""
+
+from collections import deque
+
+from repro.sim.actors import Actor
+from repro.sim.server import FifoServer
+from repro.gossip.cache import RecentlySeenCache
+from repro.gossip.hooks import SemanticHooks
+
+
+class GossipCosts:
+    """CPU service-time model of the gossip layer.
+
+    Times are in seconds per operation. They are deliberately explicit
+    configuration — they play the role of the paper's t2.medium CPUs and
+    determine where the latency knees fall.
+    """
+
+    __slots__ = ("recv_fresh_s", "recv_dup_s", "send_per_peer_s", "hook_s")
+
+    def __init__(self, recv_fresh_s=15e-6, recv_dup_s=3e-6,
+                 send_per_peer_s=4e-6, hook_s=1e-6):
+        self.recv_fresh_s = recv_fresh_s
+        self.recv_dup_s = recv_dup_s
+        self.send_per_peer_s = send_per_peer_s
+        self.hook_s = hook_s
+
+
+class GossipStats:
+    """Counters matching the quantities reported in the paper's §4.3."""
+
+    __slots__ = (
+        "broadcasts", "received", "duplicates", "delivered", "forwarded",
+        "filtered", "aggregated_in", "aggregated_saved", "disaggregated",
+        "send_queue_drops",
+    )
+
+    def __init__(self):
+        self.broadcasts = 0          # locally broadcast messages
+        self.received = 0            # messages arriving over links (pre-dedup)
+        self.duplicates = 0          # discarded by the duplication check
+        self.delivered = 0           # handed to the application
+        self.forwarded = 0           # enqueued towards peers (pre-filter)
+        self.filtered = 0            # dropped by semantic validate()
+        self.aggregated_in = 0       # originals consumed by aggregation
+        self.aggregated_saved = 0    # transmissions avoided by aggregation
+        self.disaggregated = 0       # originals reconstructed on receipt
+        self.send_queue_drops = 0    # pending sends dropped (queue full)
+
+    def duplicate_fraction(self):
+        """Fraction of received messages discarded as duplicates."""
+        if self.received == 0:
+            return 0.0
+        return self.duplicates / self.received
+
+
+class _PeerSender:
+    """Send routine for one peer: queue + validate/aggregate + pacing."""
+
+    __slots__ = ("node", "peer_id", "link", "queue", "pending", "busy", "capacity")
+
+    def __init__(self, node, peer_id, link, capacity):
+        self.node = node
+        self.peer_id = peer_id
+        self.link = link
+        self.queue = deque()
+        self.pending = deque()   # current validated/aggregated batch
+        self.busy = False
+        self.capacity = capacity
+
+    def enqueue(self, payload):
+        if self.capacity is not None and len(self.queue) >= self.capacity:
+            self.node.stats.send_queue_drops += 1
+            return
+        self.queue.append(payload)
+        if not self.busy:
+            self._pump()
+
+    def _pump(self):
+        """Prepare the next batch (validate + aggregate) and start sending."""
+        node = self.node
+        hooks = node.hooks
+        while not self.pending:
+            if not self.queue:
+                self.busy = False
+                return
+            batch = list(self.queue)
+            self.queue.clear()
+            kept = []
+            for payload in batch:
+                if hooks.validate(payload, self.peer_id):
+                    kept.append(payload)
+                else:
+                    node.stats.filtered += 1
+            if len(kept) > 1:
+                before = len(kept)
+                kept = hooks.aggregate(kept, self.peer_id)
+                saved = before - len(kept)
+                if saved > 0:
+                    node.stats.aggregated_in += saved + sum(
+                        1 for p in kept if p.aggregated
+                    )
+                    node.stats.aggregated_saved += saved
+            self.pending.extend(kept)
+        self.busy = True
+        self._send_next()
+
+    def _send_next(self):
+        if not self.pending:
+            self._pump()
+            return
+        payload = self.pending.popleft()
+        self.link.transmit(payload, on_wire=self._send_next)
+
+
+class GossipNode(Actor):
+    """Push-gossip layer of one process."""
+
+    def __init__(self, sim, process_id, transport, costs=None, hooks=None,
+                 cache=None, deliver=None, cpu=None, send_queue_capacity=None):
+        """
+        Parameters
+        ----------
+        transport:
+            The process's :class:`repro.net.transport.Transport`; its links
+            carry gossip traffic and its receive callback is claimed here.
+        hooks:
+            :class:`SemanticHooks`; defaults to the no-op implementation
+            (classic gossip).
+        cache:
+            Duplicate detector (recently-seen cache or sliding Bloom
+            filter); defaults to a :class:`RecentlySeenCache`.
+        deliver:
+            ``deliver(payload)`` callback into the application (consensus).
+        cpu:
+            Optional shared :class:`FifoServer`; one is created if absent.
+        """
+        super().__init__(sim, "gossip-{}".format(process_id))
+        self.process_id = process_id
+        self.transport = transport
+        self.costs = costs or GossipCosts()
+        self.hooks = hooks or SemanticHooks()
+        self.cache = cache if cache is not None else RecentlySeenCache()
+        self.deliver = deliver
+        self.cpu = cpu or FifoServer(sim)
+        self.stats = GossipStats()
+        self.alive = True
+        self._senders = {}
+        self._send_queue_capacity = send_queue_capacity
+        transport.on_receive(self._on_link_receive)
+
+    # -- wiring ----------------------------------------------------------
+
+    def start(self):
+        """Begin periodic activity; a no-op for plain push gossip."""
+
+    def stop(self):
+        """Stop periodic activity; a no-op for plain push gossip."""
+
+    def crash(self):
+        """Stop participating: drop inbound traffic, lose queued sends."""
+        self.alive = False
+        for sender in self._senders.values():
+            sender.queue.clear()
+            sender.pending.clear()
+
+    def recover(self):
+        """Resume participation (the dedup cache survived on purpose:
+        re-receiving old messages is harmless either way)."""
+        self.alive = True
+
+    def add_peer(self, peer_id):
+        """Register a peer reachable through the transport's link."""
+        link = self.transport.link_to(peer_id)
+        self._senders[peer_id] = _PeerSender(
+            self, peer_id, link, self._send_queue_capacity
+        )
+
+    def peers(self):
+        return list(self._senders)
+
+    # -- broadcast path ----------------------------------------------------
+
+    def broadcast(self, payload):
+        """Asynchronously disseminate ``payload`` to all processes."""
+        if not self.alive:
+            return
+        self.stats.broadcasts += 1
+        if not self.cache.register(payload.uid):
+            return  # re-broadcast of a known message: nothing to do
+        fanout = len(self._senders)
+        service = self.costs.recv_fresh_s + fanout * self.costs.send_per_peer_s
+        self.cpu.submit(service, self._complete_broadcast, payload)
+
+    def _complete_broadcast(self, payload):
+        self._deliver(payload)
+        self._forward(payload, exclude=None)
+
+    # -- receive path ------------------------------------------------------
+
+    def _on_link_receive(self, src, payload):
+        if not self.alive:
+            return
+        self.stats.received += 1
+        costs = self.costs
+        if payload.aggregated:
+            parts = self.hooks.disaggregate(payload)
+            self.stats.disaggregated += len(parts)
+        else:
+            parts = (payload,)
+        fresh = []
+        service = 0.0
+        for part in parts:
+            if self.cache.register(part.uid):
+                fresh.append(part)
+                service += costs.recv_fresh_s
+            else:
+                service += costs.recv_dup_s
+        if not fresh:
+            self.stats.duplicates += 1
+            self.cpu.submit(service, _noop)
+            return
+        fanout = max(0, len(self._senders) - 1)
+        service += len(fresh) * fanout * costs.send_per_peer_s
+        self.cpu.submit(service, self._complete_receive, fresh, src)
+
+    def _complete_receive(self, fresh, src):
+        for part in fresh:
+            self._deliver(part)
+            self._forward(part, exclude=src)
+
+    # -- helpers -----------------------------------------------------------
+
+    def _deliver(self, payload):
+        self.stats.delivered += 1
+        if self.deliver is not None:
+            self.deliver(payload)
+
+    def _forward(self, payload, exclude):
+        stats = self.stats
+        for peer_id, sender in self._senders.items():
+            if peer_id == exclude:
+                continue
+            stats.forwarded += 1
+            sender.enqueue(payload)
+
+
+def _noop():
+    pass

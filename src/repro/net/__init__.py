@@ -1,0 +1,34 @@
+"""Network substrate: regions, latency model, channels, overlays, faults.
+
+This package replaces the paper's AWS/libp2p testbed with a simulated
+network whose WAN latencies are anchored on the paper's Table 1. See
+DESIGN.md §2 for the substitution rationale.
+"""
+
+from repro.net.regions import (
+    REGIONS,
+    COORDINATOR_REGION,
+    TABLE1_LATENCY_MS,
+    region_of_process,
+)
+from repro.net.topology import Topology
+from repro.net.message import Payload
+from repro.net.channel import DirectedLink, LinkConfig
+from repro.net.transport import Transport
+from repro.net.overlay import Overlay, generate_overlay
+from repro.net.faults import ReceiverLossInjector
+
+__all__ = [
+    "REGIONS",
+    "COORDINATOR_REGION",
+    "TABLE1_LATENCY_MS",
+    "region_of_process",
+    "Topology",
+    "Payload",
+    "DirectedLink",
+    "LinkConfig",
+    "Transport",
+    "Overlay",
+    "generate_overlay",
+    "ReceiverLossInjector",
+]

@@ -1,0 +1,131 @@
+"""Point-to-point directed links.
+
+A :class:`DirectedLink` models one direction of a (bi-directional) channel
+between two processes: a transmission server that serialises messages onto
+the wire one at a time (per-message overhead plus a per-byte cost), followed
+by a propagation delay equal to the one-way region-to-region latency plus
+optional jitter. Links may bound their transmit queue; when full, messages
+are dropped — mirroring the paper's note that its implementation discards
+messages when inter-routine queues fill up.
+
+Message loss: a per-link ``loss_hook`` (see :mod:`repro.net.faults`) is
+consulted at delivery time; if it returns True the message is silently
+discarded, reproducing the paper's receiver-side fault injection (§4.5).
+"""
+
+from repro.sim.server import FifoServer
+
+
+class LinkConfig:
+    """Transmission cost model and queue bound shared by links.
+
+    Parameters
+    ----------
+    per_message_s:
+        Fixed serialisation overhead per message (seconds).
+    per_byte_s:
+        Wire time per byte (seconds); 8e-9 corresponds to 1 Gbps.
+    queue_capacity:
+        Maximum queued messages per link direction; ``None`` = unbounded.
+    jitter_s:
+        Half-width of uniform propagation jitter (seconds); 0 disables.
+    """
+
+    __slots__ = ("per_message_s", "per_byte_s", "queue_capacity", "jitter_s")
+
+    def __init__(self, per_message_s=60e-6, per_byte_s=8e-9,
+                 queue_capacity=20_000, jitter_s=0.0):
+        self.per_message_s = per_message_s
+        self.per_byte_s = per_byte_s
+        self.queue_capacity = queue_capacity
+        self.jitter_s = jitter_s
+
+
+class LinkStats:
+    """Per-link counters."""
+
+    __slots__ = ("sent", "dropped_queue", "dropped_loss", "delivered", "bytes_sent")
+
+    def __init__(self):
+        self.sent = 0
+        self.dropped_queue = 0
+        self.dropped_loss = 0
+        self.delivered = 0
+        self.bytes_sent = 0
+
+
+class DirectedLink:
+    """One direction of a channel: src -> dst."""
+
+    __slots__ = (
+        "sim", "src", "dst", "latency_s", "config", "stats",
+        "_server", "_jitter_rng", "_deliver", "loss_hook",
+    )
+
+    def __init__(self, sim, src, dst, latency_s, config, deliver, loss_hook=None):
+        """
+        Parameters
+        ----------
+        deliver:
+            Callback ``deliver(src_id, payload)`` invoked at the receiver
+            when the message arrives (after loss injection).
+        loss_hook:
+            Optional ``loss_hook(dst_id) -> bool``; True drops the message.
+        """
+        self.sim = sim
+        self.src = src
+        self.dst = dst
+        self.latency_s = latency_s
+        self.config = config
+        self.stats = LinkStats()
+        self._server = FifoServer(sim, capacity=config.queue_capacity,
+                                  on_drop=self._on_queue_drop)
+        self._jitter_rng = sim.rng("link-jitter") if config.jitter_s > 0 else None
+        self._deliver = deliver
+        self.loss_hook = loss_hook
+
+    @property
+    def busy(self):
+        return self._server.busy
+
+    @property
+    def queue_length(self):
+        return self._server.queue_length
+
+    def transmit(self, payload, on_wire=None):
+        """Send a payload towards ``dst``.
+
+        ``on_wire`` (optional, zero-arg) fires when the message finishes
+        serialising — i.e. when the link is free for the next message —
+        which lets per-peer gossip senders pace themselves.
+        Returns False if the transmit queue was full.
+        """
+        config = self.config
+        service = config.per_message_s + payload.size_bytes * config.per_byte_s
+        return self._server.submit(service, self._on_serialised, payload, on_wire)
+
+    def _on_queue_drop(self, fn, args):
+        self.stats.dropped_queue += 1
+        # Still notify the sender that the link "consumed" the message so
+        # pacing callbacks do not stall.
+        on_wire = args[1]
+        if on_wire is not None:
+            on_wire()
+
+    def _on_serialised(self, payload, on_wire):
+        stats = self.stats
+        stats.sent += 1
+        stats.bytes_sent += payload.size_bytes
+        delay = self.latency_s
+        if self._jitter_rng is not None:
+            delay += self._jitter_rng.uniform(0.0, self.config.jitter_s)
+        self.sim.schedule(delay, self._arrive, payload)
+        if on_wire is not None:
+            on_wire()
+
+    def _arrive(self, payload):
+        if self.loss_hook is not None and self.loss_hook(self.dst):
+            self.stats.dropped_loss += 1
+            return
+        self.stats.delivered += 1
+        self._deliver(self.src, payload)

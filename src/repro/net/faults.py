@@ -1,0 +1,42 @@
+"""Fault injection.
+
+The paper's reliability study (§4.5) "randomly discards messages received by
+a process". :class:`ReceiverLossInjector` reproduces that: it is installed
+as the ``loss_hook`` of every link and drops each arriving message with a
+configured probability, using a dedicated RNG stream so that loss decisions
+are independent of every other source of randomness in the run.
+"""
+
+
+class ReceiverLossInjector:
+    """Drops arriving messages with a fixed probability per receiver."""
+
+    __slots__ = ("rate", "_rng", "dropped", "examined", "_per_process")
+
+    def __init__(self, sim, rate=0.0, per_process=None, stream="faults"):
+        """
+        Parameters
+        ----------
+        rate:
+            Default drop probability in [0, 1].
+        per_process:
+            Optional dict overriding the rate for specific receiver ids.
+        """
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError("loss rate must be within [0, 1]")
+        self.rate = rate
+        self._per_process = dict(per_process or {})
+        self._rng = sim.rng(stream)
+        self.dropped = 0
+        self.examined = 0
+
+    def __call__(self, dst):
+        """Return True when the message arriving at ``dst`` must be lost."""
+        self.examined += 1
+        rate = self._per_process.get(dst, self.rate)
+        if rate <= 0.0:
+            return False
+        if self._rng.random() < rate:
+            self.dropped += 1
+            return True
+        return False

@@ -1,0 +1,48 @@
+"""Process-level latency model.
+
+A :class:`Topology` binds a system size ``n`` to the 13-region latency
+matrix: it places each process in a region (round-robin, coordinator in
+North Virginia — see :mod:`repro.net.regions`) and answers one-way latency
+queries between processes. Clients sit in the same region as the process
+they talk to; the client-process latency is the intra-region LAN latency.
+"""
+
+from repro.net import regions as _regions
+
+
+class Topology:
+    """Maps process ids to regions and yields inter-process latencies."""
+
+    def __init__(self, n, num_regions=len(_regions.REGIONS)):
+        if n < 1:
+            raise ValueError("need at least one process")
+        self.n = n
+        self.num_regions = num_regions
+        self._region = [_regions.region_of_process(i, num_regions) for i in range(n)]
+        # Pre-scale the matrix to seconds once; the hot path is a 2D lookup.
+        self._latency_s = [
+            [ms / 1000.0 for ms in row] for row in _regions.LATENCY_MATRIX_MS
+        ]
+
+    def region(self, process_id):
+        """Region index hosting the given process."""
+        return self._region[process_id]
+
+    def region_name(self, process_id):
+        return _regions.REGIONS[self._region[process_id]]
+
+    def latency_s(self, a, b):
+        """One-way latency in seconds between processes ``a`` and ``b``."""
+        return self._latency_s[self._region[a]][self._region[b]]
+
+    def client_latency_s(self, process_id):
+        """One-way latency between a process and its same-region client."""
+        return _regions.INTRA_REGION_LATENCY_MS / 1000.0
+
+    def processes_in_region(self, region_index):
+        """All process ids hosted in the given region."""
+        return [i for i in range(self.n) if self._region[i] == region_index]
+
+    def rtt_s(self, a, b):
+        """Round-trip latency in seconds between two processes."""
+        return self.latency_s(a, b) + self.latency_s(b, a)

@@ -1,0 +1,56 @@
+"""Process-facing point-to-point transport.
+
+A :class:`Transport` owns the outgoing :class:`DirectedLink` objects of one
+process and hands received payloads to a registered callback. It is the
+layer both communication substrates build on: the Baseline setup uses it
+directly (coordinator connected to everyone) and the gossip layer uses it
+for its per-peer links.
+"""
+
+
+class Transport:
+    """Outgoing links and receive dispatch for one process."""
+
+    __slots__ = ("process_id", "_links", "_on_receive")
+
+    def __init__(self, process_id):
+        self.process_id = process_id
+        self._links = {}
+        self._on_receive = None
+
+    def connect(self, link):
+        """Register the outgoing link to ``link.dst``."""
+        if link.src != self.process_id:
+            raise ValueError(
+                "link src {} does not match transport owner {}".format(
+                    link.src, self.process_id
+                )
+            )
+        self._links[link.dst] = link
+
+    def on_receive(self, callback):
+        """Register ``callback(src_id, payload)`` for inbound messages."""
+        self._on_receive = callback
+
+    def deliver(self, src, payload):
+        """Entry point wired into the inbound links' deliver callbacks."""
+        if self._on_receive is not None:
+            self._on_receive(src, payload)
+
+    def peers(self):
+        """Ids of directly connected processes."""
+        return list(self._links)
+
+    def link_to(self, dst):
+        """The outgoing link towards ``dst`` (KeyError if not connected)."""
+        return self._links[dst]
+
+    def send(self, dst, payload, on_wire=None):
+        """Transmit a payload to a directly connected process."""
+        return self._links[dst].transmit(payload, on_wire)
+
+    def send_all(self, payload, exclude=()):
+        """Transmit a payload to every connected peer not in ``exclude``."""
+        for dst, link in self._links.items():
+            if dst not in exclude:
+                link.transmit(payload)

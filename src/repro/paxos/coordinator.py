@@ -1,0 +1,148 @@
+"""The coordinator (distinguished proposer) role.
+
+On election (simulation start) the coordinator runs a ranged Phase 1 for
+round 1 across all instances. Once a majority of Phase 1b promises arrives,
+it re-proposes any values reported accepted in earlier rounds (safety) and
+from then on serves client values: each new value is proposed in Phase 2 of
+the next unused instance — the paper's regular, fail-free operation in
+which "the decision of a value only requires the execution of Phase 2".
+
+Retransmissions: an optional timeout re-issues Phase 2a for proposed but
+undecided instances (and Phase 1a while Phase 1 is incomplete). Each
+retransmission carries an incremented ``attempt`` tag so the gossip layer's
+duplicate suppression does not swallow it. The paper's reliability study
+(§4.5) runs with these timeout-triggered procedures disabled.
+"""
+
+from collections import deque
+
+from repro.paxos.messages import Phase1a, Phase2a
+
+
+class _Proposal:
+    __slots__ = ("round", "value", "proposed_at", "attempt")
+
+    def __init__(self, round_, value, proposed_at):
+        self.round = round_
+        self.value = value
+        self.proposed_at = proposed_at
+        self.attempt = 0
+
+
+class Coordinator:
+    """Round orchestration and value proposing."""
+
+    __slots__ = (
+        "process_id", "n", "majority", "comm", "round", "first_instance",
+        "phase1_complete", "_promises", "_phase1_started_at",
+        "next_instance", "proposals", "_pending_values", "_known_value_ids",
+        "decided_count", "retransmissions",
+    )
+
+    def __init__(self, process_id, n, comm, first_instance=1, round_=1):
+        """``round_`` must be unique per coordinator incarnation; the
+        runtime uses ``attempt * n + process_id + 1`` so competing
+        coordinators can never collide on a round number."""
+        self.process_id = process_id
+        self.n = n
+        self.majority = n // 2 + 1
+        self.comm = comm
+        self.round = round_
+        self.first_instance = first_instance
+        self.phase1_complete = False
+        self._promises = {}
+        self._phase1_started_at = None
+        self.next_instance = first_instance
+        #: instance -> _Proposal for proposed-but-not-yet-decided instances.
+        self.proposals = {}
+        self._pending_values = deque()
+        self._known_value_ids = set()
+        self.decided_count = 0
+        self.retransmissions = 0
+
+    # -- Phase 1 -----------------------------------------------------------
+
+    def start(self, now):
+        """Begin Phase 1 of round 1 covering every instance."""
+        self._phase1_started_at = now
+        self.comm.broadcast(Phase1a(self.round, self.first_instance, self.process_id))
+
+    def on_phase1b(self, msg, now):
+        """Collect a promise; completes Phase 1 on reaching a majority."""
+        if self.phase1_complete or msg.round != self.round:
+            return
+        self._promises[msg.sender] = msg
+        if len(self._promises) < self.majority:
+            return
+        self.phase1_complete = True
+        self._repropose_accepted(now)
+        while self._pending_values:
+            self._propose(self._pending_values.popleft(), now)
+
+    def _repropose_accepted(self, now):
+        """Propose the highest-round accepted value reported per instance."""
+        best = {}
+        for promise in self._promises.values():
+            for instance, round_, value in promise.accepted:
+                current = best.get(instance)
+                if current is None or round_ > current[0]:
+                    best[instance] = (round_, value)
+        for instance in sorted(best):
+            _, value = best[instance]
+            self._known_value_ids.add(value.value_id)
+            self.proposals[instance] = _Proposal(self.round, value, now)
+            self.comm.broadcast(Phase2a(instance, self.round, value))
+            if instance >= self.next_instance:
+                self.next_instance = instance + 1
+
+    # -- Phase 2 -----------------------------------------------------------
+
+    def on_client_value(self, value, now):
+        """Serve a client value: propose it in the next unused instance."""
+        if value.value_id in self._known_value_ids:
+            return  # duplicate forward of an already-proposed value
+        self._known_value_ids.add(value.value_id)
+        if not self.phase1_complete:
+            self._pending_values.append(value)
+            return
+        self._propose(value, now)
+
+    def _propose(self, value, now):
+        instance = self.next_instance
+        self.next_instance += 1
+        self.proposals[instance] = _Proposal(self.round, value, now)
+        self.comm.broadcast(Phase2a(instance, self.round, value))
+
+    def on_decided(self, instance):
+        """Learner reported a decision; stop tracking the proposal."""
+        if self.proposals.pop(instance, None) is not None:
+            self.decided_count += 1
+
+    @property
+    def outstanding(self):
+        """Number of proposed-but-undecided instances."""
+        return len(self.proposals)
+
+    # -- retransmission (disabled in the paper's reliability study) --------
+
+    def check_timeouts(self, now, timeout):
+        """Re-issue messages for work pending longer than ``timeout``."""
+        if not self.phase1_complete:
+            if (self._phase1_started_at is not None
+                    and now - self._phase1_started_at >= timeout):
+                self._phase1_started_at = now
+                self.retransmissions += 1
+                self.comm.broadcast(
+                    Phase1a(self.round, self.first_instance, self.process_id,
+                            attempt=self.retransmissions)
+                )
+            return
+        for instance, proposal in list(self.proposals.items()):
+            if now - proposal.proposed_at >= timeout:
+                proposal.proposed_at = now
+                proposal.attempt += 1
+                self.retransmissions += 1
+                self.comm.broadcast(
+                    Phase2a(instance, proposal.round, proposal.value,
+                            attempt=proposal.attempt)
+                )

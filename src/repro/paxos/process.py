@@ -1,0 +1,280 @@
+"""A full Paxos process: proposer + acceptor + learner (+ coordinator).
+
+The process receives messages through :meth:`handle` — wired either to the
+gossip layer's delivery queue or to direct links — and sends through a
+:class:`Communicator`, the only point of contact with the substrate:
+
+* ``broadcast`` — one-to-many (Phase 1a/2a, Decision);
+* ``to_coordinator`` — many-to-one (Phase 1b, client value forwarding);
+* ``phase2b`` — votes; the Baseline setup routes them to the coordinator
+  only (classic three-phase Paxos), the gossip setups broadcast them so
+  every process can learn decisions from a majority of votes (paper §3.1).
+"""
+
+from repro.sim.actors import Actor
+from repro.paxos.acceptor import Acceptor
+from repro.paxos.coordinator import Coordinator
+from repro.paxos.learner import Learner
+from repro.paxos.log import DecisionLog
+from repro.paxos.messages import (
+    ClientValue,
+    Decision,
+    Heartbeat,
+    Phase1a,
+    Phase1b,
+    Phase2a,
+    Phase2b,
+)
+
+
+class Communicator:
+    """Substrate interface; see the runtime for concrete bindings."""
+
+    def broadcast(self, payload):
+        raise NotImplementedError
+
+    def to_coordinator(self, payload):
+        raise NotImplementedError
+
+    def phase2b(self, payload):
+        """Route a Phase 2b vote; defaults to broadcast."""
+        self.broadcast(payload)
+
+
+class ProcessStats:
+    """Per-process consensus-level counters."""
+
+    __slots__ = ("values_submitted", "values_forwarded", "decisions_delivered",
+                 "messages_handled")
+
+    def __init__(self):
+        self.values_submitted = 0
+        self.values_forwarded = 0
+        self.decisions_delivered = 0
+        self.messages_handled = 0
+
+
+class PaxosProcess(Actor):
+    """One Paxos participant playing all roles."""
+
+    def __init__(self, sim, process_id, n, comm, coordinator_id=0,
+                 retransmit_timeout=None, on_deliver=None,
+                 failover_timeout=None):
+        """
+        Parameters
+        ----------
+        comm:
+            The :class:`Communicator` binding to the substrate.
+        retransmit_timeout:
+            Seconds before the coordinator re-issues pending Phase 1a/2a
+            messages; ``None`` disables retransmission (paper §4.5 setting).
+        on_deliver:
+            ``on_deliver(instance, value)`` invoked for every decided value
+            in instance order, gap-free — the state-machine delivery used to
+            notify clients.
+        failover_timeout:
+            When set, a non-coordinator that observes no delivery progress
+            for ``failover_timeout x its rank`` elects itself coordinator
+            and runs Phase 1 in a fresh, higher round (rounds are
+            partitioned by process id so coordinators never collide).
+            ``None`` (default, the paper's setting) disables failover.
+        """
+        super().__init__(sim, "paxos-{}".format(process_id))
+        self.process_id = process_id
+        self.n = n
+        self.comm = comm
+        self.coordinator_id = coordinator_id
+        self.is_coordinator = process_id == coordinator_id
+        self.acceptor = Acceptor(process_id)
+        self.learner = Learner(n)
+        self.log = DecisionLog()
+        self.on_deliver = on_deliver
+        self.stats = ProcessStats()
+        self.retransmit_timeout = retransmit_timeout
+        self.failover_timeout = failover_timeout
+        self.coordinator = (
+            Coordinator(process_id, n, comm) if self.is_coordinator else None
+        )
+        self.alive = True
+        self.takeovers = 0
+        self._retransmit_timer = None
+        self._failover_timer = None
+        self._heartbeat_timer = None
+        self._heartbeat_seq = 0
+        self._last_progress = 0.0
+        self._max_seen_round = 1
+        #: in-flight client values observed via gossip (failover only):
+        #: re-proposed by a takeover coordinator so they are not lost.
+        self._seen_values = {}
+        self._decided_value_ids = set()
+
+    def start(self):
+        """Begin operation; the coordinator launches Phase 1."""
+        self._last_progress = self.now
+        if self.coordinator is not None:
+            self.coordinator.start(self.now)
+            self._start_retransmit_timer()
+            self._start_heartbeats()
+        elif self.failover_timeout is not None:
+            self._failover_timer = self.every(
+                self.failover_timeout / 2.0, self._maybe_take_over
+            )
+
+    def _start_retransmit_timer(self):
+        if self.retransmit_timeout is not None and self._retransmit_timer is None:
+            self._retransmit_timer = self.every(
+                self.retransmit_timeout / 2.0, self._check_timeouts
+            )
+
+    def _start_heartbeats(self):
+        if self.failover_timeout is not None and self._heartbeat_timer is None:
+            self._heartbeat_timer = self.every(
+                self.failover_timeout / 3.0, self._send_heartbeat
+            )
+
+    def _send_heartbeat(self):
+        if not self.alive:
+            return
+        self._heartbeat_seq += 1
+        self.comm.broadcast(Heartbeat(self.process_id, self._heartbeat_seq))
+
+    def stop(self):
+        for timer_name in ("_retransmit_timer", "_failover_timer",
+                           "_heartbeat_timer"):
+            timer = getattr(self, timer_name)
+            if timer is not None:
+                timer.stop()
+                setattr(self, timer_name, None)
+
+    def crash(self):
+        """Cease participating. Acceptor/learner state persists — the
+        crash-recovery model assumes stable storage (paper §2.1)."""
+        self.alive = False
+
+    def recover(self):
+        self.alive = True
+
+    # -- client side --------------------------------------------------------
+
+    def submit_value(self, value):
+        """Accept a value from a co-located client (paper §4.2 client path)."""
+        if not self.alive:
+            return  # values sent to a crashed process are lost
+        self.stats.values_submitted += 1
+        if self.coordinator is not None:
+            self.coordinator.on_client_value(value, self.now)
+            return
+        self.stats.values_forwarded += 1
+        self.comm.to_coordinator(ClientValue(value, self.process_id))
+
+    # -- message handling ----------------------------------------------------
+
+    def handle(self, payload):
+        """Entry point for every message delivered by the substrate."""
+        if not self.alive:
+            return
+        self.stats.messages_handled += 1
+        kind = type(payload)
+        if kind is Phase2b:
+            if payload.round > self._max_seen_round:
+                self._max_seen_round = payload.round
+            self._on_decided(self.learner.on_phase2b(payload))
+        elif kind is Phase2a:
+            if payload.round > self._max_seen_round:
+                self._max_seen_round = payload.round
+            vote = self.acceptor.on_phase2a(payload, attempt=payload.uid[3])
+            if vote is not None:
+                self.comm.phase2b(vote)
+            self._on_decided(self.learner.on_phase2a(payload))
+        elif kind is Decision:
+            self._on_decided(self.learner.on_decision(payload))
+        elif kind is ClientValue:
+            if self.failover_timeout is not None:
+                value = payload.value
+                if value.value_id not in self._decided_value_ids:
+                    self._seen_values[value.value_id] = value
+            if self.coordinator is not None:
+                self.coordinator.on_client_value(payload.value, self.now)
+        elif kind is Phase1a:
+            if payload.round > self._max_seen_round:
+                self._max_seen_round = payload.round
+            promise = self.acceptor.on_phase1a(payload)
+            if promise is not None:
+                self.comm.to_coordinator(promise)
+        elif kind is Phase1b:
+            if self.coordinator is not None:
+                self.coordinator.on_phase1b(payload, self.now)
+        elif kind is Heartbeat:
+            self._last_progress = self.now
+
+    # -- decisions ------------------------------------------------------------
+
+    def _on_decided(self, decided):
+        if decided is None:
+            return
+        instance, value = decided
+        if self.coordinator is not None:
+            # Inform all processes (paper §2.3); filtering turns this into
+            # the message that obsoletes the instance's Phase 2b traffic.
+            self.coordinator.on_decided(instance)
+            self.comm.broadcast(Decision(instance, self.learner_round(), value))
+        self.log.add(instance, value)
+        ready = self.log.pop_ready()
+        if ready:
+            self.stats.decisions_delivered += len(ready)
+            self._last_progress = self.now
+            watermark = ready[-1][0]
+            self.acceptor.forget_up_to(watermark)
+            self.learner.forget_up_to(watermark)
+            if self.failover_timeout is not None:
+                for _, ready_value in ready:
+                    self._decided_value_ids.add(ready_value.value_id)
+                    self._seen_values.pop(ready_value.value_id, None)
+            if self.on_deliver is not None:
+                for ready_instance, ready_value in ready:
+                    self.on_deliver(ready_instance, ready_value)
+
+    def learner_round(self):
+        """Round tag used on Decision messages."""
+        return self.coordinator.round if self.coordinator is not None else 0
+
+    def _check_timeouts(self):
+        if not self.alive:
+            return
+        if self.coordinator is not None and self.retransmit_timeout is not None:
+            self.coordinator.check_timeouts(self.now, self.retransmit_timeout)
+
+    # -- coordinator failover ----------------------------------------------------
+
+    def _maybe_take_over(self):
+        """Elect self coordinator after rank-staggered silence.
+
+        Staggering by rank makes the lowest-ranked live backup win in the
+        common case; a concurrent takeover is safe regardless — rounds are
+        unique per process and Paxos tolerates competing coordinators
+        (paper §2.3).
+        """
+        if not self.alive or self.coordinator is not None:
+            return
+        rank = (self.process_id - self.coordinator_id) % self.n
+        if self.now - self._last_progress < self.failover_timeout * rank:
+            return
+        self.takeovers += 1
+        self.is_coordinator = True
+        generation = (self._max_seen_round - 1) // self.n + 1
+        round_ = generation * self.n + self.process_id + 1
+        self.coordinator = Coordinator(
+            self.process_id, self.n, self.comm,
+            first_instance=self.log.next_instance, round_=round_,
+        )
+        self.coordinator.start(self.now)
+        self._last_progress = self.now
+        self._start_retransmit_timer()
+        self._start_heartbeats()
+        # Re-propose in-flight values observed before the takeover so they
+        # are not lost with the old coordinator. A value that was in fact
+        # already decided in an instance this process has not learned yet
+        # may be proposed again — the classic at-least-once duplicate the
+        # replicated state machine deduplicates by value id.
+        for value in list(self._seen_values.values()):
+            self.coordinator.on_client_value(value, self.now)

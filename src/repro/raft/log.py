@@ -1,0 +1,78 @@
+"""The replicated Raft log of one process.
+
+Entries arrive over gossip and may be received out of order; they are
+buffered by index and acknowledged when they become part of the contiguous
+prefix (the gossip-friendly equivalent of the AppendEntries consistency
+check — a follower only acknowledges an entry once it holds everything
+before it). Commitment is a watermark: committing index i commits every
+index <= i, per Raft's commit argument. Delivery releases the contiguous
+committed prefix in order.
+"""
+
+
+class RaftLog:
+    """Index-addressed log with contiguity tracking and commit watermark."""
+
+    __slots__ = ("entries", "contiguous_index", "commit_index",
+                 "delivered_index")
+
+    def __init__(self):
+        #: index -> LogEntry, possibly sparse beyond the contiguous prefix.
+        self.entries = {}
+        #: highest index such that all entries 1..index are stored.
+        self.contiguous_index = 0
+        #: commit watermark (everything <= is committed).
+        self.commit_index = 0
+        #: highest index already handed to the state machine.
+        self.delivered_index = 0
+
+    def store(self, entry):
+        """Store an entry; returns the indices that became contiguous.
+
+        A conflicting entry (same index, different term) is overwritten
+        when the new entry's term is higher — with a single leader per
+        term this only happens across leader changes.
+        """
+        existing = self.entries.get(entry.index)
+        if existing is not None:
+            if existing.term >= entry.term:
+                return []
+        self.entries[entry.index] = entry
+        newly_contiguous = []
+        while (self.contiguous_index + 1) in self.entries:
+            self.contiguous_index += 1
+            newly_contiguous.append(self.contiguous_index)
+        return newly_contiguous
+
+    def has(self, index):
+        return index in self.entries
+
+    def term_of(self, index):
+        entry = self.entries.get(index)
+        return entry.term if entry is not None else 0
+
+    @property
+    def last_index(self):
+        return max(self.entries) if self.entries else 0
+
+    def advance_commit(self, index):
+        """Raise the commit watermark; returns True if it moved."""
+        if index <= self.commit_index:
+            return False
+        self.commit_index = index
+        return True
+
+    def pop_deliverable(self):
+        """Entries now deliverable in order: committed AND contiguous."""
+        ready = []
+        limit = min(self.commit_index, self.contiguous_index)
+        while self.delivered_index < limit:
+            self.delivered_index += 1
+            ready.append(self.entries[self.delivered_index])
+        return ready
+
+    @property
+    def gap_blocked(self):
+        """Committed-but-undeliverable entries (missing predecessor)."""
+        return max(0, self.commit_index - min(self.commit_index,
+                                              self.contiguous_index))

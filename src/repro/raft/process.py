@@ -1,0 +1,331 @@
+"""A Raft process over a pluggable communication substrate.
+
+Mirrors :class:`repro.paxos.process.PaxosProcess` deliberately: the same
+:class:`repro.paxos.process.Communicator` interface binds it to direct
+links or to gossip, the same client path applies (values forwarded to the
+leader, decisions delivered gap-free in order), and the same metrics flow
+out. Process 0 stands for election at startup (term 1), the analogue of
+the Paxos coordinator's ranged Phase 1.
+
+Commit learning matches the paper's §3.1 observation for Phase 2b: acks
+are broadcast in the gossip setups, so every process counts them and
+learns commits from a majority without waiting for the leader's
+CommitNotice; the Baseline setup routes acks to the leader only, and
+followers commit on the leader's notice.
+"""
+
+from collections import deque
+
+from repro.raft.log import RaftLog
+from repro.raft.messages import (
+    AppendAck,
+    AppendEntries,
+    CommitNotice,
+    LogEntry,
+    RequestVote,
+    VoteReply,
+)
+from repro.paxos.messages import ClientValue
+from repro.sim.actors import Actor
+
+
+class RaftStats:
+    __slots__ = ("values_submitted", "values_forwarded",
+                 "decisions_delivered", "messages_handled",
+                 "commits_by_acks", "commits_by_notice", "retransmissions")
+
+    def __init__(self):
+        self.values_submitted = 0
+        self.values_forwarded = 0
+        self.decisions_delivered = 0
+        self.messages_handled = 0
+        self.commits_by_acks = 0
+        self.commits_by_notice = 0
+        self.retransmissions = 0
+
+
+class _PendingReplication:
+    __slots__ = ("entry", "proposed_at", "attempt")
+
+    def __init__(self, entry, proposed_at):
+        self.entry = entry
+        self.proposed_at = proposed_at
+        self.attempt = 0
+
+
+class RaftProcess(Actor):
+    """One Raft participant (candidate/leader/follower as events dictate)."""
+
+    def __init__(self, sim, process_id, n, comm, leader_id=0,
+                 retransmit_timeout=None, on_deliver=None):
+        super().__init__(sim, "raft-{}".format(process_id))
+        self.process_id = process_id
+        self.n = n
+        self.majority = n // 2 + 1
+        self.comm = comm
+        self.leader_id = leader_id
+        self.is_leader_candidate = process_id == leader_id
+        self.current_term = 0
+        self.voted_for = {}          # term -> candidate granted
+        self.is_leader = False
+        self.log = RaftLog()
+        self.on_deliver = on_deliver
+        self.stats = RaftStats()
+        self.retransmit_timeout = retransmit_timeout
+        self._votes = set()
+        self._pending_values = deque()
+        self._known_value_ids = set()
+        self._replicating = {}       # index -> _PendingReplication
+        self._ack_senders = {}       # (term, index) -> set of senders
+        self._committed_by_acks = set()
+        self._next_index = 1
+        self.alive = True
+        self._retransmit_timer = None
+        # Leader-side per-follower progress (Raft's matchIndex, derived
+        # from the per-sender acks): contiguous acked index + buffer.
+        self._follower_contig = {}
+        self._follower_pending = {}
+        self._repair_attempts = {}   # index -> attempt counter
+        self._last_repair = {}       # follower -> last repair time
+
+    # -- startup election ----------------------------------------------------
+
+    def start(self):
+        """The designated candidate solicits votes for term 1."""
+        if self.is_leader_candidate:
+            self.current_term = 1
+            self.voted_for[1] = self.process_id
+            self._votes = {self.process_id}
+            self.comm.broadcast(RequestVote(1, self.process_id))
+            if self.retransmit_timeout is not None:
+                self._retransmit_timer = self.every(
+                    self.retransmit_timeout / 2.0, self._check_timeouts)
+
+    def stop(self):
+        if self._retransmit_timer is not None:
+            self._retransmit_timer.stop()
+            self._retransmit_timer = None
+
+    def crash(self):
+        """Cease participating; log state persists (stable storage)."""
+        self.alive = False
+
+    def recover(self):
+        self.alive = True
+
+    # -- client path -----------------------------------------------------------
+
+    def submit_value(self, value):
+        if not self.alive:
+            return  # values sent to a crashed process are lost
+        self.stats.values_submitted += 1
+        if self.is_leader or (self.is_leader_candidate and not self.is_leader):
+            self._on_client_value(value)
+            return
+        self.stats.values_forwarded += 1
+        self.comm.to_coordinator(ClientValue(value, self.process_id))
+
+    def _on_client_value(self, value):
+        if value.value_id in self._known_value_ids:
+            return
+        self._known_value_ids.add(value.value_id)
+        if not self.is_leader:
+            self._pending_values.append(value)
+            return
+        self._replicate(value)
+
+    def _replicate(self, value):
+        index = self._next_index
+        self._next_index += 1
+        entry = LogEntry(self.current_term, index, value)
+        self._replicating[index] = _PendingReplication(entry, self.now)
+        self._append_local_and_broadcast(entry, attempt=0)
+
+    def _append_local_and_broadcast(self, entry, attempt):
+        prev_index = entry.index - 1
+        message = AppendEntries(
+            self.current_term, self.process_id, prev_index,
+            self.log.term_of(prev_index), entry, self.log.commit_index,
+            attempt,
+        )
+        # The leader stores its own entry and acknowledges it like any
+        # follower (the Paxos coordinator's own Phase 2b, analogously).
+        for index in self.log.store(entry):
+            self.comm.phase2b(
+                AppendAck(self.current_term, index, self.process_id, attempt))
+            self._count_ack(self.current_term, index, self.process_id)
+        self.comm.broadcast(message)
+
+    # -- message handling ---------------------------------------------------------
+
+    def handle(self, payload):
+        if not self.alive:
+            return
+        self.stats.messages_handled += 1
+        kind = type(payload)
+        if kind is AppendAck:
+            self._count_ack(payload.term, payload.index, payload.sender)
+        elif kind is AppendEntries:
+            self._on_append_entries(payload)
+        elif kind is CommitNotice:
+            if self.log.advance_commit(payload.index):
+                self.stats.commits_by_notice += 1
+                self._deliver_ready()
+        elif kind is ClientValue:
+            if self.is_leader or self.is_leader_candidate:
+                self._on_client_value(payload.value)
+        elif kind is RequestVote:
+            self._on_request_vote(payload)
+        elif kind is VoteReply:
+            self._on_vote_reply(payload)
+
+    def _on_request_vote(self, msg):
+        if msg.term < self.current_term:
+            return
+        if msg.term > self.current_term:
+            self.current_term = msg.term
+        already = self.voted_for.get(msg.term)
+        if already is not None and already != msg.candidate:
+            return
+        self.voted_for[msg.term] = msg.candidate
+        self.comm.to_coordinator(
+            VoteReply(msg.term, self.process_id, granted=True))
+
+    def _on_vote_reply(self, msg):
+        if (not self.is_leader_candidate or self.is_leader
+                or msg.term != self.current_term or not msg.granted):
+            return
+        self._votes.add(msg.voter)
+        if len(self._votes) >= self.majority:
+            self.is_leader = True
+            self._next_index = self.log.last_index + 1
+            # Track progress for every process, including ones that never
+            # manage to ack (they may have missed the very first entry).
+            for follower in range(self.n):
+                self._follower_contig.setdefault(follower, 0)
+            while self._pending_values:
+                self._replicate(self._pending_values.popleft())
+
+    def _on_append_entries(self, msg):
+        if msg.term < self.current_term:
+            return
+        if msg.term > self.current_term:
+            self.current_term = msg.term
+        uid_attempt = msg.uid[3]
+        for index in self.log.store(msg.entry):
+            # Ack each newly contiguous entry (includes buffered ones).
+            ack = AppendAck(msg.term, index, self.process_id, uid_attempt)
+            self.comm.phase2b(ack)
+            self._count_ack(msg.term, index, self.process_id)
+        if self.log.advance_commit(msg.leader_commit):
+            self.stats.commits_by_notice += 1
+        self._deliver_ready()
+
+    # -- commit accounting -----------------------------------------------------------
+
+    def _count_ack(self, term, index, sender):
+        self._track_follower_progress(index, sender)
+        if index <= self.log.commit_index:
+            return
+        key = (term, index)
+        senders = self._ack_senders.get(key)
+        if senders is None:
+            senders = set()
+            self._ack_senders[key] = senders
+        senders.add(sender)
+        if len(senders) >= self.majority:
+            if self.log.advance_commit(index):
+                self.stats.commits_by_acks += 1
+                if self.is_leader:
+                    self.comm.broadcast(CommitNotice(term, index))
+                self._deliver_ready()
+
+    def _deliver_ready(self):
+        ready = self.log.pop_deliverable()
+        if not ready:
+            return
+        self.stats.decisions_delivered += len(ready)
+        for entry in ready:
+            self._replicating.pop(entry.index, None)
+            self._ack_senders.pop((entry.term, entry.index), None)
+        if self.on_deliver is not None:
+            for entry in ready:
+                self.on_deliver(entry.index, entry.value)
+
+    # -- retransmission (optional, as in the Paxos deployment) ---------------------------
+
+    def _track_follower_progress(self, index, sender):
+        """Advance the leader's view of a follower's contiguous acks."""
+        if not self.is_leader_candidate:
+            return
+        contig = self._follower_contig.get(sender, 0)
+        if index <= contig:
+            return
+        pending = self._follower_pending.setdefault(sender, set())
+        pending.add(index)
+        while (contig + 1) in pending:
+            contig += 1
+            pending.remove(contig)
+        self._follower_contig[sender] = contig
+
+    def _check_timeouts(self):
+        if not self.alive or not self.is_leader \
+                or self.retransmit_timeout is None:
+            return
+        now = self.now
+        # Uncommitted entries: re-flood until a majority acknowledges.
+        for index, pending in list(self._replicating.items()):
+            if index <= self.log.commit_index:
+                self._replicating.pop(index, None)
+                continue
+            if now - pending.proposed_at >= self.retransmit_timeout:
+                pending.proposed_at = now
+                pending.attempt += 1
+                self.stats.retransmissions += 1
+                self._append_local_and_broadcast(pending.entry,
+                                                 pending.attempt)
+        # Lagging followers: re-flood a window of entries from the first
+        # one each misses (Raft's nextIndex repair, adapted to broadcast
+        # dissemination). Attempts are capped per (follower, index): the
+        # semantic filter drops acks for already-committed indices, so the
+        # leader's progress view can stay stale after a successful repair
+        # — an interplay documented in EXPERIMENTS.md.
+        for follower, contig in self._follower_contig.items():
+            if follower == self.process_id or contig >= self.log.commit_index:
+                continue
+            if now - self._last_repair.get(follower, 0.0) \
+                    < self.retransmit_timeout:
+                continue
+            if self._repair_attempts.get((follower, contig), 0) \
+                    >= self.MAX_REPAIR_ATTEMPTS:
+                continue
+            self._last_repair[follower] = now
+            self._repair_attempts[(follower, contig)] = (
+                self._repair_attempts.get((follower, contig), 0) + 1)
+            for missing in range(contig + 1,
+                                 min(contig + 1 + self.REPAIR_WINDOW,
+                                     self.log.commit_index + 1)):
+                if not self.log.has(missing):
+                    break
+                attempt = self._next_ae_attempt(missing)
+                self.stats.retransmissions += 1
+                entry = self.log.entries[missing]
+                self.comm.broadcast(AppendEntries(
+                    self.current_term, self.process_id, missing - 1,
+                    self.log.term_of(missing - 1), entry,
+                    self.log.commit_index, attempt,
+                ))
+
+    #: Entries re-flooded per repair round, and rounds per stuck position.
+    REPAIR_WINDOW = 16
+    MAX_REPAIR_ATTEMPTS = 3
+
+    def _next_ae_attempt(self, index):
+        """Fresh attempt tag so gossip dedup re-floods the AppendEntries.
+
+        Offset past the replication-path attempts so repair uids never
+        collide with retransmission uids for the same index.
+        """
+        attempt = self._repair_attempts.get(("ae", index), 1000) + 1
+        self._repair_attempts[("ae", index)] = attempt
+        return attempt

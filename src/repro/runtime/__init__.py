@@ -1,0 +1,34 @@
+"""Experiment runtime: deployments, clients, metrics, runners, sweeps.
+
+This package wires the substrates together into the paper's three setups
+(§4.1) and drives them with the paper's workload model (§4.2): one open-loop
+client per region submitting values at a fixed rate to a same-region Paxos
+process, end-to-end latency measured at the client when its value's decision
+is delivered in total order.
+"""
+
+from repro.runtime.config import ExperimentConfig, SETUPS
+from repro.runtime.deployment import Deployment, build_deployment
+from repro.runtime.client import Client
+from repro.runtime.metrics import MetricsReport
+from repro.runtime.runner import run_experiment
+from repro.runtime.sweep import (
+    workload_sweep,
+    find_saturation_point,
+    overlay_sweep,
+    loss_grid,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "SETUPS",
+    "Deployment",
+    "build_deployment",
+    "Client",
+    "MetricsReport",
+    "run_experiment",
+    "workload_sweep",
+    "find_saturation_point",
+    "overlay_sweep",
+    "loss_grid",
+]

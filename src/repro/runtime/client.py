@@ -1,0 +1,64 @@
+"""Open-loop clients (paper §4.2).
+
+One client per region submits values to a Paxos process hosted in the same
+region at a fixed rate, without waiting for decisions (open loop). The
+process informs the client of every decided value in total order — clients
+are state-machine replicas — and the client computes end-to-end latency for
+the values it submitted itself. Client-process communication is reliable:
+a plain scheduled delivery with LAN latency, not a lossy channel.
+"""
+
+from repro.sim.actors import Actor
+from repro.paxos.messages import Value
+
+
+class Client(Actor):
+    """Open-loop value submitter attached to one Paxos process."""
+
+    def __init__(self, sim, client_id, process, rate, value_size,
+                 lan_delay_s, collector, start_at, stop_at, phase=0.0):
+        """
+        Parameters
+        ----------
+        rate:
+            This client's submission rate (values/second).
+        phase:
+            Submission phase offset in seconds, used to desynchronise the
+            per-region clients.
+        """
+        super().__init__(sim, "client-{}".format(client_id))
+        self.client_id = client_id
+        self.process = process
+        self.rate = rate
+        self.interval = 1.0 / rate
+        self.value_size = value_size
+        self.lan_delay_s = lan_delay_s
+        self.collector = collector
+        self.start_at = start_at
+        self.stop_at = stop_at
+        self.phase = phase
+        self.submitted = 0
+        self.decisions_seen = 0
+        self.own_decided = 0
+
+    def start(self):
+        """Arm the first submission at start_at + phase."""
+        self.sim.schedule_at(self.start_at + self.phase, self._submit)
+
+    def _submit(self):
+        value_id = (self.client_id, self.submitted)
+        self.submitted += 1
+        value = Value(value_id, self.client_id, self.value_size)
+        self.collector.record_submit(value_id, self.client_id, self.now)
+        # Reliable same-region delivery to the serving process.
+        self.sim.schedule(self.lan_delay_s, self.process.submit_value, value)
+        next_at = self.now + self.interval
+        if next_at <= self.stop_at:
+            self.sim.schedule_at(next_at, self._submit)
+
+    def on_decision(self, instance, value):
+        """The serving process delivered a decided value (in order)."""
+        self.decisions_seen += 1
+        if value.client_id == self.client_id:
+            self.own_decided += 1
+            self.collector.record_decided(value.value_id, self.now)

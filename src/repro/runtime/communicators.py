@@ -1,0 +1,50 @@
+"""Bindings between Paxos's Communicator interface and the substrates.
+
+* :class:`BaselineCommunicator` — classic three-phase Paxos over direct
+  links: one-to-many messages go out over the coordinator's star, votes and
+  promises travel back to the coordinator only.
+* :class:`GossipCommunicator` — everything is a gossip broadcast. Votes are
+  broadcast rather than addressed to the coordinator, so all processes can
+  learn decisions from a majority of Phase 2b messages (paper §3.1).
+"""
+
+from repro.paxos.process import Communicator
+
+
+class BaselineCommunicator(Communicator):
+    """Direct point-to-point communication, coordinator-centric."""
+
+    def __init__(self, node, coordinator_id):
+        self.node = node
+        self.coordinator_id = coordinator_id
+
+    def broadcast(self, payload):
+        """One-to-many over the star, including a local delivery."""
+        self.node.send_all(payload, include_self=True)
+
+    def to_coordinator(self, payload):
+        """Direct send over the star's hub link."""
+        self.node.send(self.coordinator_id, payload)
+
+    def phase2b(self, payload):
+        # Classic Paxos: the vote concerns the coordinator only.
+        self.node.send(self.coordinator_id, payload)
+
+
+class GossipCommunicator(Communicator):
+    """Everything is an epidemic broadcast."""
+
+    def __init__(self, node):
+        self.node = node
+
+    def broadcast(self, payload):
+        """Epidemic dissemination to all processes."""
+        self.node.broadcast(payload)
+
+    def to_coordinator(self, payload):
+        # No direct route to the coordinator exists in a partially
+        # connected network; the message is disseminated to everyone.
+        self.node.broadcast(payload)
+
+    def phase2b(self, payload):
+        self.node.broadcast(payload)

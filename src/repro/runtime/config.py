@@ -1,0 +1,150 @@
+"""Experiment configuration.
+
+One :class:`ExperimentConfig` fully determines a run together with nothing
+else — every random choice inside the simulation derives from its seeds.
+The defaults model the paper's environment at reduced duration; benchmarks
+override sizes, rates, and fault parameters per figure.
+"""
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.gossip.node import GossipCosts
+from repro.net.channel import LinkConfig
+
+#: The paper's three setups (§4.1).
+SETUPS = ("baseline", "gossip", "semantic")
+
+
+@dataclass
+class ExperimentConfig:
+    """All parameters of one experiment run."""
+
+    # -- deployment ---------------------------------------------------------
+    setup: str = "gossip"
+    protocol: str = "paxos"              # "paxos" | "raft" (paper §5.1 extension)
+    n: int = 13
+    coordinator_id: int = 0
+    k: Optional[int] = None              # links opened per process; default log2(n)
+
+    # -- workload (paper §4.2/4.3) -------------------------------------------
+    rate: float = 50.0                   # total submissions/s across all clients
+    value_size: int = 1024               # paper evaluates 1 KB values
+    num_clients: Optional[int] = None    # default: one per region (<= n)
+
+    # -- timing --------------------------------------------------------------
+    warmup: float = 0.5                  # seconds before measurement starts
+    duration: float = 2.0                # measured window (seconds)
+    drain: float = 3.0                   # post-workload settling time
+
+    # -- seeds ----------------------------------------------------------------
+    seed: int = 1
+    overlay_seed: Optional[int] = None   # default: derived from seed
+
+    # -- faults (paper §4.5 message loss; §2.1 crash-recovery) -------------------
+    loss_rate: float = 0.0
+    retransmit_timeout: Optional[float] = None  # None = disabled (§4.5 setting)
+    #: Process outages: tuples of (process_id, crash_at, recover_at|None).
+    crashes: tuple = ()
+    #: Coordinator failover: silence (seconds x rank) before a backup takes
+    #: over with a fresh round. None (paper's setting) disables failover.
+    failover_timeout: Optional[float] = None
+
+    # -- semantics (paper §3.2; toggles for the ablation study) -----------------
+    enable_filtering: bool = True
+    enable_aggregation: bool = True
+
+    # -- dissemination strategy (paper §2.2; push is the paper's choice) --------
+    gossip_strategy: str = "push"        # "push" | "pull" | "push-pull"
+    pull_interval: float = 0.05          # pull-round period (seconds)
+
+    # -- S-Paxos-style id-only ordering (paper §5.1 extension) -------------------
+    spaxos: bool = False
+
+    # -- cost model --------------------------------------------------------------
+    costs: GossipCosts = field(default_factory=GossipCosts)
+    link: LinkConfig = field(default_factory=LinkConfig)
+    cache_capacity: int = 200_000
+    send_queue_capacity: Optional[int] = 20_000
+    cpu_queue_capacity: Optional[int] = None
+    use_bloom_dedup: bool = False        # sliding Bloom filter instead of LRU cache
+
+    def __post_init__(self):
+        if self.setup not in SETUPS:
+            raise ValueError(
+                "unknown setup {!r}; expected one of {}".format(self.setup, SETUPS)
+            )
+        if self.n < 3:
+            raise ValueError("Paxos needs at least 3 processes")
+        if self.rate <= 0:
+            raise ValueError("rate must be positive")
+        if not 0.0 <= self.loss_rate <= 1.0:
+            raise ValueError("loss_rate must be in [0, 1]")
+        if self.gossip_strategy not in ("push", "pull", "push-pull"):
+            raise ValueError(
+                "unknown gossip strategy {!r}".format(self.gossip_strategy)
+            )
+        if self.protocol not in ("paxos", "raft"):
+            raise ValueError("unknown protocol {!r}".format(self.protocol))
+        if self.spaxos and self.protocol != "paxos":
+            raise ValueError("spaxos applies to the paxos protocol only")
+        if self.spaxos and self.setup == "baseline":
+            raise ValueError(
+                "spaxos needs broadcast dissemination; the Baseline star "
+                "cannot deliver value bodies to non-coordinator processes"
+            )
+        if self.failover_timeout is not None:
+            if self.protocol != "paxos" or self.spaxos:
+                raise ValueError(
+                    "coordinator failover is implemented for plain Paxos"
+                )
+            if self.setup == "baseline":
+                raise ValueError(
+                    "failover needs broadcast communication; the Baseline "
+                    "star dies with its hub"
+                )
+
+    @property
+    def effective_k(self):
+        """Links each process opens, so average degree is ~log2(n) (§4.2)."""
+        if self.k is not None:
+            return self.k
+        return max(2, round(math.log2(self.n) / 2.0))
+
+    @property
+    def effective_overlay_seed(self):
+        """Overlay seed; defaults to the experiment seed."""
+        if self.overlay_seed is not None:
+            return self.overlay_seed
+        return self.seed
+
+    @property
+    def effective_num_clients(self):
+        """One client per region, capped by the number of processes."""
+        from repro.net.regions import REGIONS
+
+        if self.num_clients is not None:
+            return min(self.num_clients, self.n)
+        return min(len(REGIONS), self.n)
+
+    @property
+    def end_of_workload(self):
+        """Simulated time at which clients stop submitting."""
+        return self.warmup + self.duration
+
+    @property
+    def end_of_run(self):
+        """Simulated time at which the run is cut off (incl. drain)."""
+        return self.warmup + self.duration + self.drain
+
+    @property
+    def majority(self):
+        """Quorum size: floor(n/2) + 1."""
+        return self.n // 2 + 1
+
+    def replace(self, **overrides):
+        """Return a copy with the given fields overridden."""
+        from dataclasses import replace as _replace
+
+        return _replace(self, **overrides)

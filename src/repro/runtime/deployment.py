@@ -1,0 +1,210 @@
+"""Deployment builders for the paper's three setups (§4.1).
+
+* **Baseline** — the coordinator opens channels to all other processes
+  (star); classic three-phase Paxos with direct communication.
+* **Gossip** — each process opens channels to ~log2(n) random processes;
+  all Paxos communication is epidemic broadcast over the resulting overlay.
+* **Semantic Gossip** — same overlay and gossip layer, with the
+  :class:`repro.core.PaxosSemantics` hooks installed.
+
+For a fair comparison (paper §4.2), Gossip and Semantic Gossip runs with
+the same ``overlay_seed`` use the *same* overlay.
+"""
+
+from repro.core.raft_semantics import RaftSemantics
+from repro.core.semantics import PaxosSemantics
+from repro.gossip.bloom import SlidingBloomFilter
+from repro.gossip.cache import RecentlySeenCache
+from repro.gossip.node import GossipNode
+from repro.gossip.strategies import PullGossipNode, PushPullGossipNode
+from repro.net.channel import DirectedLink
+from repro.net.faults import ReceiverLossInjector
+from repro.net.overlay import generate_overlay
+from repro.net.topology import Topology
+from repro.net.transport import Transport
+from repro.paxos.process import PaxosProcess
+from repro.paxos.spaxos import SPaxosProcess
+from repro.raft.process import RaftProcess
+from repro.runtime.client import Client
+from repro.runtime.communicators import BaselineCommunicator, GossipCommunicator
+from repro.runtime.crashes import CrashController, CrashSchedule
+from repro.runtime.direct import DirectNode
+from repro.runtime.metrics import MetricsCollector
+from repro.sim.kernel import Simulator
+from repro.sim.random import make_stream
+
+
+class Deployment:
+    """A fully wired simulated system, ready to run."""
+
+    def __init__(self, config, sim, topology, overlay, transports, nodes,
+                 processes, clients, collector, loss_injector,
+                 crash_controller=None):
+        self.config = config
+        self.sim = sim
+        self.topology = topology
+        self.overlay = overlay          # None in the Baseline setup
+        self.transports = transports
+        self.nodes = nodes              # GossipNode or DirectNode per process
+        self.processes = processes
+        self.clients = clients
+        self.collector = collector
+        self.loss_injector = loss_injector
+        self.crash_controller = crash_controller
+
+    def start(self):
+        """Schedule startup: every process at t=0 (the coordinator runs
+        Phase 1, backups arm failover timers if configured), then clients."""
+        for process in self.processes:
+            self.sim.schedule(0.0, process.start)
+        for node in self.nodes:
+            start = getattr(node, "start", None)
+            if start is not None:
+                start()
+        for client in self.clients:
+            client.start()
+        if self.crash_controller is not None:
+            self.crash_controller.install()
+
+    def run(self):
+        """Run the simulation to the end of the configured horizon."""
+        self.sim.run(until=self.config.end_of_run)
+
+
+def _connect_pair(sim, config, topology, transports, a, b, loss_hook):
+    """Create the two directed links of one bi-directional channel."""
+    link_ab = DirectedLink(
+        sim, a, b, topology.latency_s(a, b), config.link,
+        deliver=transports[b].deliver, loss_hook=loss_hook,
+    )
+    transports[a].connect(link_ab)
+    link_ba = DirectedLink(
+        sim, b, a, topology.latency_s(b, a), config.link,
+        deliver=transports[a].deliver, loss_hook=loss_hook,
+    )
+    transports[b].connect(link_ba)
+
+
+def _make_dedup(config):
+    if config.use_bloom_dedup:
+        return SlidingBloomFilter()
+    return RecentlySeenCache(config.cache_capacity)
+
+
+def build_deployment(config):
+    """Construct the simulated system described by ``config``."""
+    n = config.n
+    sim = Simulator(config.seed)
+    topology = Topology(n)
+    collector = MetricsCollector()
+    loss_injector = (
+        ReceiverLossInjector(sim, config.loss_rate) if config.loss_rate > 0 else None
+    )
+    transports = [Transport(i) for i in range(n)]
+
+    overlay = None
+    nodes = []
+    communicators = []
+
+    if config.setup == "baseline":
+        for i in range(1, n):
+            _connect_pair(sim, config, topology, transports,
+                          config.coordinator_id, i, loss_injector)
+        for i in range(n):
+            node = DirectNode(sim, i, transports[i], config.costs)
+            nodes.append(node)
+            communicators.append(BaselineCommunicator(node, config.coordinator_id))
+    else:
+        overlay_rng = make_stream(config.effective_overlay_seed, "overlay")
+        overlay = generate_overlay(n, config.effective_k, overlay_rng)
+        for edge in overlay.edges:
+            a, b = sorted(edge)
+            _connect_pair(sim, config, topology, transports, a, b, loss_injector)
+        semantic = config.setup == "semantic"
+        hooks_class = RaftSemantics if config.protocol == "raft" else PaxosSemantics
+        for i in range(n):
+            hooks = (
+                hooks_class(
+                    n,
+                    enable_filtering=config.enable_filtering,
+                    enable_aggregation=config.enable_aggregation,
+                )
+                if semantic
+                else None
+            )
+            common = dict(
+                costs=config.costs,
+                hooks=hooks,
+                cache=_make_dedup(config),
+                send_queue_capacity=config.send_queue_capacity,
+            )
+            if config.gossip_strategy == "push":
+                node = GossipNode(sim, i, transports[i], **common)
+            elif config.gossip_strategy == "pull":
+                node = PullGossipNode(sim, i, transports[i],
+                                      pull_interval=config.pull_interval,
+                                      **common)
+            else:
+                node = PushPullGossipNode(sim, i, transports[i],
+                                          pull_interval=config.pull_interval,
+                                          **common)
+            nodes.append(node)
+            communicators.append(GossipCommunicator(node))
+        for i in range(n):
+            for peer in overlay.peers(i):
+                nodes[i].add_peer(peer)
+
+    processes = []
+    for i in range(n):
+        if config.protocol == "raft":
+            process = RaftProcess(
+                sim, i, n, communicators[i],
+                leader_id=config.coordinator_id,
+                retransmit_timeout=config.retransmit_timeout,
+            )
+        else:
+            process_class = SPaxosProcess if config.spaxos else PaxosProcess
+            process = process_class(
+                sim, i, n, communicators[i],
+                coordinator_id=config.coordinator_id,
+                retransmit_timeout=config.retransmit_timeout,
+                failover_timeout=config.failover_timeout,
+            )
+        nodes[i].deliver = process.handle
+        processes.append(process)
+
+    clients = []
+    num_clients = config.effective_num_clients
+    client_start = max(0.25, config.warmup * 0.5)
+    per_client_rate = config.rate / num_clients
+    for client_id in range(num_clients):
+        process = processes[client_id]
+        client = Client(
+            sim, client_id, process,
+            rate=per_client_rate,
+            value_size=config.value_size,
+            lan_delay_s=topology.client_latency_s(client_id),
+            collector=collector,
+            start_at=client_start,
+            stop_at=config.end_of_workload,
+            phase=(client_id / num_clients) / per_client_rate,
+        )
+        lan = topology.client_latency_s(client_id)
+        process.on_deliver = _make_notifier(sim, lan, client)
+        clients.append(client)
+
+    crash_controller = None
+    if config.crashes:
+        schedules = [CrashSchedule(*entry) for entry in config.crashes]
+        crash_controller = CrashController(sim, nodes, processes, schedules)
+
+    return Deployment(config, sim, topology, overlay, transports, nodes,
+                      processes, clients, collector, loss_injector,
+                      crash_controller)
+
+
+def _make_notifier(sim, lan_delay_s, client):
+    def notify(instance, value):
+        sim.schedule(lan_delay_s, client.on_decision, instance, value)
+
+    return notify

@@ -1,0 +1,244 @@
+"""Measurement: latency, throughput, message counters, reliability.
+
+Clients measure end-to-end latency (submission to in-order decision
+delivery, paper §4.2) and throughput as the rate of decisions per time
+unit. The collector records raw per-value events during the run; the
+:class:`MetricsReport` computed afterwards aggregates them over the
+measurement window plus the message-level counters the paper's §4.3
+analysis relies on (receive counts, duplicate fractions, filtering and
+aggregation savings).
+"""
+
+import math
+
+
+class _ValueRecord:
+    __slots__ = ("client_id", "submitted_at", "decided_at")
+
+    def __init__(self, client_id, submitted_at):
+        self.client_id = client_id
+        self.submitted_at = submitted_at
+        self.decided_at = None
+
+
+class MetricsCollector:
+    """Per-run event recorder, fed by clients."""
+
+    def __init__(self):
+        self._records = {}
+
+    def record_submit(self, value_id, client_id, now):
+        """A client submitted a value at simulated time ``now``."""
+        self._records[value_id] = _ValueRecord(client_id, now)
+
+    def record_decided(self, value_id, now):
+        """The owning client was notified of its value's decision."""
+        record = self._records.get(value_id)
+        if record is not None and record.decided_at is None:
+            record.decided_at = now
+
+    def records(self):
+        """All per-value records collected so far."""
+        return self._records.values()
+
+
+def mean(xs):
+    """Arithmetic mean; 0.0 for empty input."""
+    return sum(xs) / len(xs) if xs else 0.0
+
+
+def stddev(xs):
+    """Sample standard deviation; 0.0 below two samples."""
+    if len(xs) < 2:
+        return 0.0
+    mu = mean(xs)
+    return math.sqrt(sum((x - mu) ** 2 for x in xs) / (len(xs) - 1))
+
+
+def percentile(sorted_xs, p):
+    """Linear-interpolation percentile of pre-sorted data, p in [0, 100]."""
+    if not sorted_xs:
+        return 0.0
+    if len(sorted_xs) == 1:
+        return sorted_xs[0]
+    rank = (p / 100.0) * (len(sorted_xs) - 1)
+    low = int(math.floor(rank))
+    high = min(low + 1, len(sorted_xs) - 1)
+    frac = rank - low
+    value = sorted_xs[low] * (1 - frac) + sorted_xs[high] * frac
+    # Clamp against 1-ulp interpolation drift outside the bracket.
+    return min(max(value, sorted_xs[low]), sorted_xs[high])
+
+
+class MessageStats:
+    """Substrate-level counters aggregated across processes."""
+
+    def __init__(self):
+        self.received_total = 0
+        self.received_regular_mean = 0.0   # mean over non-coordinator processes
+        self.received_coordinator = 0
+        self.duplicates = 0
+        self.delivered = 0
+        self.filtered = 0
+        self.aggregated_saved = 0
+        self.disaggregated = 0
+        self.send_queue_drops = 0
+        self.loss_injected = 0
+        self.cpu_utilization_mean = 0.0    # mean per-process CPU busy frac.
+        self.cpu_utilization_max = 0.0     # the busiest process
+
+    @property
+    def duplicate_fraction(self):
+        """Fraction of received messages discarded as duplicates."""
+        if self.received_total == 0:
+            return 0.0
+        return self.duplicates / self.received_total
+
+
+class MetricsReport:
+    """Everything a bench needs from one experiment run."""
+
+    def __init__(self, config, latencies_s, per_client_latencies_s,
+                 submitted, decided, decided_in_window, message_stats,
+                 decided_by_majority, decided_by_message):
+        self.config = config
+        self.latencies_s = sorted(latencies_s)
+        self.per_client_latencies_s = per_client_latencies_s
+        self.submitted = submitted
+        self.decided = decided
+        self.decided_in_window = decided_in_window
+        self.messages = message_stats
+        self.decided_by_majority = decided_by_majority
+        self.decided_by_message = decided_by_message
+
+    # -- latency -------------------------------------------------------------
+
+    @property
+    def avg_latency_s(self):
+        """Mean end-to-end latency over the measurement window."""
+        return mean(self.latencies_s)
+
+    @property
+    def latency_stddev_s(self):
+        """Latency standard deviation (the paper's Fig. 5 statistic)."""
+        return stddev(self.latencies_s)
+
+    def latency_percentile_s(self, p):
+        """Latency percentile, p in [0, 100]."""
+        return percentile(self.latencies_s, p)
+
+    @property
+    def median_latency_s(self):
+        """Median end-to-end latency."""
+        return self.latency_percentile_s(50.0)
+
+    def latency_cdf(self, points=100):
+        """(latency_s, cumulative_fraction) pairs for CDF plotting."""
+        xs = self.latencies_s
+        if not xs:
+            return []
+        n = len(xs)
+        return [(xs[i], (i + 1) / n) for i in range(n)][:: max(1, n // points)]
+
+    # -- throughput & reliability ----------------------------------------------
+
+    @property
+    def throughput(self):
+        """Decisions per second observed by clients in the window."""
+        return self.decided_in_window / self.config.duration
+
+    @property
+    def not_ordered(self):
+        """Values submitted but never ordered (paper Fig. 6 quantity)."""
+        return self.submitted - self.decided
+
+    @property
+    def not_ordered_fraction(self):
+        """Fraction of submitted values never ordered (Fig. 6 cell)."""
+        if self.submitted == 0:
+            return 0.0
+        return self.not_ordered / self.submitted
+
+    def __repr__(self):
+        return (
+            "MetricsReport(setup={}, n={}, rate={:.0f}/s: "
+            "avg_latency={:.1f}ms, throughput={:.1f}/s, not_ordered={:.1%})"
+        ).format(
+            self.config.setup, self.config.n, self.config.rate,
+            self.avg_latency_s * 1000.0, self.throughput,
+            self.not_ordered_fraction,
+        )
+
+
+def build_report(deployment):
+    """Aggregate a finished deployment's raw data into a MetricsReport."""
+    config = deployment.config
+    window_start = config.warmup
+    window_end = config.warmup + config.duration
+
+    latencies = []
+    per_client = {client.client_id: [] for client in deployment.clients}
+    submitted = 0
+    decided = 0
+    decided_in_window = 0
+    for record in deployment.collector.records():
+        submitted += 1
+        if record.decided_at is None:
+            continue
+        decided += 1
+        latency = record.decided_at - record.submitted_at
+        if window_start <= record.submitted_at <= window_end:
+            latencies.append(latency)
+            per_client[record.client_id].append(latency)
+        if window_start <= record.decided_at <= window_end:
+            decided_in_window += 1
+
+    stats = MessageStats()
+    regular_received = []
+    for node in deployment.nodes:
+        node_stats = node.stats
+        stats.received_total += node_stats.received
+        stats.delivered += node_stats.delivered
+        if node.process_id == config.coordinator_id:
+            stats.received_coordinator = node_stats.received
+        else:
+            regular_received.append(node_stats.received)
+        duplicates = getattr(node_stats, "duplicates", None)
+        if duplicates is not None:
+            stats.duplicates += duplicates
+            stats.filtered += node_stats.filtered
+            stats.aggregated_saved += node_stats.aggregated_saved
+            stats.disaggregated += node_stats.disaggregated
+            stats.send_queue_drops += node_stats.send_queue_drops
+    stats.received_regular_mean = mean(regular_received)
+    elapsed = deployment.sim.now
+    utilizations = [node.cpu.stats.utilization(elapsed)
+                    for node in deployment.nodes]
+    if utilizations:
+        stats.cpu_utilization_mean = mean(utilizations)
+        stats.cpu_utilization_max = max(utilizations)
+    if deployment.loss_injector is not None:
+        stats.loss_injected = deployment.loss_injector.dropped
+
+    decided_by_majority = 0
+    decided_by_message = 0
+    for process in deployment.processes:
+        learner = getattr(process, "learner", None)
+        if learner is not None:  # Paxos
+            decided_by_majority += learner.decided_by_majority
+            decided_by_message += learner.decided_by_message
+        else:  # Raft: commits by ack majority / by the leader's notice
+            decided_by_majority += process.stats.commits_by_acks
+            decided_by_message += process.stats.commits_by_notice
+
+    return MetricsReport(
+        config=config,
+        latencies_s=latencies,
+        per_client_latencies_s=per_client,
+        submitted=submitted,
+        decided=decided,
+        decided_in_window=decided_in_window,
+        message_stats=stats,
+        decided_by_majority=decided_by_majority,
+        decided_by_message=decided_by_message,
+    )

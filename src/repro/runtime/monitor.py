@@ -1,0 +1,78 @@
+"""Online safety monitor.
+
+A :class:`TotalOrderMonitor` observes every process's ordered deliveries
+during a run and raises at the *instant* an agreement violation occurs —
+two processes delivering different values for the same instance, or a
+process delivering out of order. The tests use it as a live invariant
+checker; it is also handy when developing new semantic rules, where a
+buggy filter could starve a process rather than corrupt it (starvation
+shows up as missing deliveries, which the monitor reports at the end).
+"""
+
+
+class SafetyViolation(AssertionError):
+    """Raised the moment an agreement or ordering invariant breaks."""
+
+
+class TotalOrderMonitor:
+    """Watches on_deliver streams of all processes for safety."""
+
+    def __init__(self):
+        #: instance -> value_id first delivered anywhere.
+        self.chosen = {}
+        #: process_id -> next expected instance.
+        self._next_instance = {}
+        self.deliveries = 0
+
+    def attach(self, deployment):
+        """Interpose on every process's delivery callback."""
+        for process in deployment.processes:
+            # SPaxosProcess exposes on_deliver as a resolving property;
+            # interpose on its stored downstream callback instead so the
+            # monitor wraps the resolved-body stream, not the resolver.
+            if hasattr(process, "_downstream_deliver"):
+                downstream = process._downstream_deliver
+            else:
+                downstream = process.on_deliver
+            process.on_deliver = self._make_observer(process.process_id,
+                                                     downstream)
+        return self
+
+    def _make_observer(self, process_id, downstream):
+        def observe(instance, value):
+            self.record(process_id, instance, value)
+            if downstream is not None:
+                downstream(instance, value)
+
+        return observe
+
+    def record(self, process_id, instance, value):
+        """Feed one delivery; raises :class:`SafetyViolation` on conflict."""
+        self.deliveries += 1
+        expected = self._next_instance.get(process_id, 1)
+        if instance != expected:
+            raise SafetyViolation(
+                "process {} delivered instance {} but expected {} "
+                "(gap-free order violated)".format(process_id, instance,
+                                                   expected))
+        self._next_instance[process_id] = instance + 1
+
+        value_id = value.value_id
+        first = self.chosen.get(instance)
+        if first is None:
+            self.chosen[instance] = value_id
+        elif first != value_id:
+            raise SafetyViolation(
+                "agreement violated at instance {}: {!r} vs {!r}".format(
+                    instance, first, value_id))
+
+    def laggards(self):
+        """Processes behind the most advanced delivery frontier."""
+        if not self._next_instance:
+            return {}
+        frontier = max(self._next_instance.values())
+        return {
+            process_id: next_instance
+            for process_id, next_instance in self._next_instance.items()
+            if next_instance < frontier
+        }

@@ -1,0 +1,24 @@
+"""Single-experiment runner."""
+
+from repro.runtime.deployment import build_deployment
+from repro.runtime.metrics import build_report
+
+
+def run_experiment(config):
+    """Build, run and measure one experiment; returns a MetricsReport."""
+    deployment = build_deployment(config)
+    deployment.start()
+    deployment.run()
+    return build_report(deployment)
+
+
+def run_deployment(config):
+    """Like :func:`run_experiment` but returns the finished deployment too.
+
+    Useful for tests and analyses that need to inspect internal state
+    (per-node caches, learner counters, link statistics).
+    """
+    deployment = build_deployment(config)
+    deployment.start()
+    deployment.run()
+    return deployment, build_report(deployment)

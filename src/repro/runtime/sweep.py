@@ -1,0 +1,129 @@
+"""Parameter sweeps for the paper's evaluation.
+
+* :func:`workload_sweep` — increasing client workloads against one setup
+  (the x-axis walk of Figure 3).
+* :func:`find_saturation_point` — the paper's saturation criterion: the
+  point of the highest throughput-to-latency ratio; beyond it, "increasing
+  client workloads results in small throughput increments at the cost of
+  relevant latency increments" (§4.3).
+* :func:`overlay_sweep` — repeated runs over distinct random overlays
+  (Figures 7 and 8).
+* :func:`loss_grid` — (workload x injected-loss) reliability grid with
+  repeated seeded runs per cell (Figure 6).
+"""
+
+from repro.net.overlay import generate_overlay
+from repro.net.topology import Topology
+from repro.runtime.metrics import mean
+from repro.runtime.runner import run_experiment
+from repro.sim.random import make_stream
+
+
+class SweepPoint:
+    """One (rate, report) sample of a workload sweep."""
+
+    __slots__ = ("rate", "report")
+
+    def __init__(self, rate, report):
+        self.rate = rate
+        self.report = report
+
+    @property
+    def throughput(self):
+        return self.report.throughput
+
+    @property
+    def avg_latency_s(self):
+        return self.report.avg_latency_s
+
+
+def workload_sweep(base_config, rates):
+    """Run ``base_config`` at each total submission rate; returns points."""
+    points = []
+    for rate in rates:
+        report = run_experiment(base_config.replace(rate=rate))
+        points.append(SweepPoint(rate, report))
+    return points
+
+
+def find_saturation_point(points):
+    """Index of the saturation point among sweep points.
+
+    Implements the paper's §4.3 criterion as the knee of the
+    latency-throughput curve: the sampled workload with the highest
+    throughput/latency ratio. Points with no successful decisions are
+    excluded.
+    """
+    best_index = None
+    best_ratio = -1.0
+    for index, point in enumerate(points):
+        latency = point.avg_latency_s
+        if latency <= 0 or point.throughput <= 0:
+            continue
+        ratio = point.throughput / latency
+        if ratio > best_ratio:
+            best_ratio = ratio
+            best_index = index
+    if best_index is None:
+        raise ValueError("no sweep point produced decisions")
+    return best_index
+
+
+class OverlayPoint:
+    """One overlay's result: its median coordinator RTT and the run report."""
+
+    __slots__ = ("overlay_seed", "median_rtt_ms", "report")
+
+    def __init__(self, overlay_seed, median_rtt_ms, report):
+        self.overlay_seed = overlay_seed
+        self.median_rtt_ms = median_rtt_ms
+        self.report = report
+
+
+def overlay_median_rtt_ms(config, overlay_seed):
+    """Median coordinator RTT of the overlay a seed would generate."""
+    topology = Topology(config.n)
+    rng = make_stream(overlay_seed, "overlay")
+    overlay = generate_overlay(config.n, config.effective_k, rng)
+    return overlay.median_coordinator_rtt_ms(topology, config.coordinator_id)
+
+
+def overlay_sweep(base_config, overlay_seeds):
+    """Run the same workload over many random overlays (Figs. 7/8)."""
+    points = []
+    for overlay_seed in overlay_seeds:
+        config = base_config.replace(overlay_seed=overlay_seed)
+        report = run_experiment(config)
+        median_rtt = overlay_median_rtt_ms(config, overlay_seed)
+        points.append(OverlayPoint(overlay_seed, median_rtt, report))
+    return points
+
+
+def select_median_overlay(points):
+    """The paper's Fig. 7 selection: order overlays by (median RTT,
+    latency) and pick the median one."""
+    ordered = sorted(points, key=lambda p: (p.median_rtt_ms, p.report.avg_latency_s))
+    return ordered[len(ordered) // 2]
+
+
+def loss_grid(base_config, loss_rates, rates, runs_per_cell=3):
+    """Reliability grid: fraction of values not ordered per cell (Fig. 6).
+
+    Each cell is averaged over ``runs_per_cell`` runs with distinct seeds,
+    as in the paper ("to minimize the effect of particularly favorable or
+    unfavorable executions").
+    """
+    grid = {}
+    for loss_rate in loss_rates:
+        for rate in rates:
+            fractions = []
+            for run in range(runs_per_cell):
+                config = base_config.replace(
+                    loss_rate=loss_rate,
+                    rate=rate,
+                    seed=base_config.seed + 1000 * run,
+                )
+                report = run_experiment(config)
+                fractions.append(report.not_ordered_fraction)
+            grid[(loss_rate, rate)] = mean(fractions)
+    return grid

@@ -1,0 +1,87 @@
+"""Event records and the simulator's pending-event queue.
+
+Events are ordered by ``(time, seq)`` where ``seq`` is a monotonically
+increasing sequence number assigned at scheduling time. Two events scheduled
+for the same instant therefore fire in scheduling order, which keeps runs
+deterministic without relying on heap tie-breaking behaviour.
+
+Cancellation is lazy: :meth:`Event.cancel` marks the event and the queue
+skips cancelled entries when popping. This is O(1) per cancellation and
+avoids the cost of re-heapifying.
+"""
+
+import heapq
+
+
+class Event:
+    """A scheduled callback; returned by :meth:`Simulator.schedule`."""
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time, seq, fn, args):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self):
+        """Mark the event so it will be skipped when its time comes."""
+        self.cancelled = True
+        # Drop references early: a cancelled event may sit in the heap for a
+        # long time, and its args can pin large message objects in memory.
+        self.fn = None
+        self.args = ()
+
+    def __lt__(self, other):
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
+
+    def __repr__(self):
+        state = " cancelled" if self.cancelled else ""
+        return "Event(t={:.6f}, seq={}{})".format(self.time, self.seq, state)
+
+
+class EventQueue:
+    """Binary heap of :class:`Event` ordered by ``(time, seq)``."""
+
+    __slots__ = ("_heap", "_seq", "_live")
+
+    def __init__(self):
+        self._heap = []
+        self._seq = 0
+        self._live = 0
+
+    def __len__(self):
+        return self._live
+
+    def push(self, time, fn, args):
+        """Create and enqueue an event; returns its handle."""
+        event = Event(time, self._seq, fn, args)
+        self._seq += 1
+        self._live += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self):
+        """Remove and return the earliest non-cancelled event, or None."""
+        heap = self._heap
+        while heap:
+            event = heapq.heappop(heap)
+            if event.cancelled:
+                continue
+            self._live -= 1
+            return event
+        return None
+
+    def peek_time(self):
+        """Time of the earliest pending event, or None if empty."""
+        heap = self._heap
+        while heap and heap[0].cancelled:
+            heapq.heappop(heap)
+        return heap[0].time if heap else None
+
+    def note_cancelled(self):
+        """Callers must invoke this once per cancelled live event."""
+        self._live -= 1

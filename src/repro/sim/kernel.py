@@ -1,0 +1,108 @@
+"""The discrete-event simulator core.
+
+A :class:`Simulator` owns a virtual clock and an event queue. Components
+schedule callbacks with :meth:`Simulator.schedule` (relative delay) or
+:meth:`Simulator.schedule_at` (absolute time) and the loop executes them in
+timestamp order. The simulator is single-threaded and deterministic.
+"""
+
+from repro.sim.events import EventQueue
+from repro.sim.random import make_stream
+
+
+class SimulationError(Exception):
+    """Raised on invalid use of the simulator (e.g. scheduling in the past)."""
+
+
+class Simulator:
+    """Deterministic discrete-event loop with named RNG streams.
+
+    Parameters
+    ----------
+    seed:
+        Root seed; all named RNG streams (see :meth:`rng`) derive from it.
+    """
+
+    def __init__(self, seed=0):
+        self.seed = seed
+        self._queue = EventQueue()
+        self._now = 0.0
+        self._rngs = {}
+        self._running = False
+        self.events_executed = 0
+
+    @property
+    def now(self):
+        """Current simulated time in seconds."""
+        return self._now
+
+    def rng(self, name):
+        """Return the RNG for the named stream, creating it on first use."""
+        stream = self._rngs.get(name)
+        if stream is None:
+            stream = make_stream(self.seed, name)
+            self._rngs[name] = stream
+        return stream
+
+    def schedule(self, delay, fn, *args):
+        """Run ``fn(*args)`` after ``delay`` simulated seconds."""
+        if delay < 0:
+            raise SimulationError("cannot schedule {}s in the past".format(-delay))
+        return self._queue.push(self._now + delay, fn, args)
+
+    def schedule_at(self, time, fn, *args):
+        """Run ``fn(*args)`` at absolute simulated time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                "cannot schedule at t={} (now is t={})".format(time, self._now)
+            )
+        return self._queue.push(time, fn, args)
+
+    def cancel(self, event):
+        """Cancel a pending event. Cancelling twice is a no-op."""
+        if not event.cancelled:
+            event.cancel()
+            self._queue.note_cancelled()
+
+    def pending(self):
+        """Number of live (non-cancelled) scheduled events."""
+        return len(self._queue)
+
+    def run(self, until=None, max_events=None):
+        """Execute events in order.
+
+        Stops when the queue drains, when simulated time would pass
+        ``until``, or after ``max_events`` callbacks. Returns the number of
+        events executed by this call. When stopping at ``until`` the clock is
+        advanced exactly to ``until`` so back-to-back ``run`` calls compose.
+        """
+        if self._running:
+            raise SimulationError("run() called re-entrantly")
+        self._running = True
+        executed = 0
+        queue = self._queue
+        try:
+            while True:
+                if max_events is not None and executed >= max_events:
+                    break
+                next_time = queue.peek_time()
+                if next_time is None:
+                    if until is not None:
+                        self._now = max(self._now, until)
+                    break
+                if until is not None and next_time > until:
+                    self._now = until
+                    break
+                event = queue.pop()
+                self._now = event.time
+                fn, args = event.fn, event.args
+                fn(*args)
+                executed += 1
+        finally:
+            self._running = False
+        self.events_executed += executed
+        return executed
+
+    def step(self):
+        """Execute exactly one event; returns True if one was executed."""
+        return self.run(max_events=1) == 1

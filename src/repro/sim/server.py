@@ -1,0 +1,105 @@
+"""Single-server FIFO queue — the saturation mechanism.
+
+Every simulated process owns a CPU modelled as a :class:`FifoServer`;
+every link owns a transmission server. Work items (handling a received
+message, serialising a message onto the wire) are submitted with a service
+time; the server executes them one at a time in FIFO order. When offered
+load exceeds service capacity the queue grows without bound and sojourn
+times blow up — which is precisely the latency knee the paper circles in
+its Figure 3.
+
+Servers optionally bound their queue. The paper notes that its Go
+implementation "may discard messages when queues connecting different
+routines are full, as a way to prevent slow processes from blocking the main
+transport routine"; a bounded server reproduces that by invoking a drop
+callback instead of enqueueing.
+"""
+
+from collections import deque
+
+
+class ServerStats:
+    """Counters exposed by :class:`FifoServer` for metrics collection."""
+
+    __slots__ = ("submitted", "completed", "dropped", "busy_time", "max_queue")
+
+    def __init__(self):
+        self.submitted = 0
+        self.completed = 0
+        self.dropped = 0
+        self.busy_time = 0.0
+        self.max_queue = 0
+
+    def utilization(self, elapsed):
+        """Fraction of ``elapsed`` the server spent busy."""
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / elapsed)
+
+
+class FifoServer:
+    """Single-server FIFO queue over the simulator.
+
+    Parameters
+    ----------
+    sim:
+        The simulator.
+    capacity:
+        Maximum number of queued (not yet started) jobs; ``None`` means
+        unbounded. Jobs submitted to a full queue are dropped and the
+        ``on_drop`` callback (if any) is invoked with the job's callback.
+    """
+
+    __slots__ = ("sim", "capacity", "on_drop", "stats", "_queue", "_busy")
+
+    def __init__(self, sim, capacity=None, on_drop=None):
+        self.sim = sim
+        self.capacity = capacity
+        self.on_drop = on_drop
+        self.stats = ServerStats()
+        self._queue = deque()
+        self._busy = False
+
+    @property
+    def queue_length(self):
+        """Jobs waiting to start (excludes the in-service job)."""
+        return len(self._queue)
+
+    @property
+    def busy(self):
+        return self._busy
+
+    def submit(self, service_time, fn, *args):
+        """Enqueue a job taking ``service_time`` whose effect is ``fn(*args)``.
+
+        The callback runs when the job *completes*. Returns True if the job
+        was accepted, False if it was dropped because the queue was full.
+        """
+        stats = self.stats
+        stats.submitted += 1
+        if not self._busy:
+            self._start(service_time, fn, args)
+            return True
+        if self.capacity is not None and len(self._queue) >= self.capacity:
+            stats.dropped += 1
+            if self.on_drop is not None:
+                self.on_drop(fn, args)
+            return False
+        self._queue.append((service_time, fn, args))
+        if len(self._queue) > stats.max_queue:
+            stats.max_queue = len(self._queue)
+        return True
+
+    def _start(self, service_time, fn, args):
+        self._busy = True
+        self.stats.busy_time += service_time
+        self.sim.schedule(service_time, self._complete, fn, args)
+
+    def _complete(self, fn, args):
+        self.stats.completed += 1
+        fn(*args)
+        if self._queue:
+            service_time, next_fn, next_args = self._queue.popleft()
+            self._start(service_time, next_fn, next_args)
+        else:
+            self._busy = False

@@ -1,0 +1,56 @@
+"""Tests for the ASCII chart renderer."""
+
+import json
+
+import pytest
+
+from repro.analysis.plots import main, plot_fig7, scatter
+
+
+def test_scatter_renders_marks_and_axes():
+    chart = scatter([("a", [(0, 0), (10, 5)]), ("b", [(5, 10)])],
+                    width=40, height=10, xlabel="xs", ylabel="ys",
+                    title="T")
+    assert chart.splitlines()[0] == "T"
+    assert "o" in chart and "x" in chart
+    assert "xs" in chart and "ys" in chart
+    assert "o a" in chart and "x b" in chart
+
+
+def test_scatter_empty():
+    assert scatter([]) == "(no data)"
+
+
+def test_scatter_single_point_does_not_divide_by_zero():
+    chart = scatter([("a", [(3, 3)])], width=20, height=5)
+    assert "o" in chart
+
+
+def test_scatter_extremes_land_on_edges():
+    chart = scatter([("a", [(0, 0), (1, 1)])], width=30, height=8)
+    rows = [line[1:] for line in chart.splitlines() if line.startswith("|")]
+    assert rows[0].rstrip().endswith("o")    # max y, max x -> top right
+    assert rows[-1].startswith("o")          # min y, min x -> bottom left
+
+
+def test_plot_fig7_from_json(tmp_path):
+    payload = {
+        "scale": "quick", "selected_overlay": 1,
+        "points": [
+            {"overlay": 0, "median_rtt_ms": 100.0, "avg_latency_ms": 200.0},
+            {"overlay": 1, "median_rtt_ms": 200.0, "avg_latency_ms": 300.0},
+        ],
+    }
+    with open(tmp_path / "fig7_overlay_selection.json", "w") as fh:
+        json.dump(payload, fh)
+    chart = plot_fig7(tmp_path)
+    assert "Figure 7" in chart
+
+
+def test_plot_missing_results_returns_none(tmp_path):
+    assert plot_fig7(tmp_path) is None
+
+
+def test_main_rejects_unknown_figure(capsys):
+    assert main(["nonexistent-figure"]) == 2
+    assert "unknown figure" in capsys.readouterr().out

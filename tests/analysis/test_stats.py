@@ -1,0 +1,42 @@
+"""Tests for analysis helpers."""
+
+import pytest
+
+from repro.analysis.stats import cdf_points, summarize
+
+
+def test_cdf_empty():
+    assert cdf_points([]) == []
+
+
+def test_cdf_reaches_one():
+    points = cdf_points([3.0, 1.0, 2.0])
+    assert points[-1] == (3.0, 1.0)
+
+
+def test_cdf_sorted_and_monotone():
+    points = cdf_points([5.0, 1.0, 3.0, 2.0, 4.0])
+    xs = [x for x, _ in points]
+    ys = [y for _, y in points]
+    assert xs == sorted(xs)
+    assert ys == sorted(ys)
+
+
+def test_cdf_downsamples_large_inputs():
+    points = cdf_points(list(range(10_000)), max_points=100)
+    assert len(points) <= 102
+
+
+def test_summarize_fields():
+    summary = summarize([1.0, 2.0, 3.0, 4.0])
+    assert summary["count"] == 4
+    assert summary["mean"] == pytest.approx(2.5)
+    assert summary["min"] == 1.0
+    assert summary["max"] == 4.0
+    assert summary["p50"] == pytest.approx(2.5)
+
+
+def test_summarize_empty():
+    summary = summarize([])
+    assert summary["count"] == 0
+    assert summary["mean"] == 0.0

@@ -1,0 +1,33 @@
+"""Tests for the ASCII table/heatmap renderers."""
+
+from repro.analysis.tables import format_heatmap, format_table
+
+
+def test_table_contains_headers_and_rows():
+    text = format_table(["a", "bb"], [[1, 2], [3, 4]], title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "a" in lines[1] and "bb" in lines[1]
+    assert "1" in lines[3]
+    assert "4" in lines[4]
+
+
+def test_table_alignment():
+    text = format_table(["col"], [["xxxxxxxx"], ["y"]])
+    lines = text.splitlines()
+    assert len(lines[1]) == len("xxxxxxxx")  # width of the widest cell
+
+
+def test_heatmap_hides_zero_cells():
+    grid = {(0.1, 10): 0.0, (0.1, 20): 0.25}
+    text = format_heatmap(grid, row_keys=[0.1], col_keys=[10, 20])
+    assert "25.0%" in text
+    assert "0.0%" not in text
+
+
+def test_heatmap_includes_all_rows_and_columns():
+    grid = {(r, c): 0.5 for r in ("a", "b") for c in (1, 2)}
+    text = format_heatmap(grid, row_keys=["a", "b"], col_keys=[1, 2],
+                          col_label="rate")
+    assert "a" in text and "b" in text
+    assert "rate" in text

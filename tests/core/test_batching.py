@@ -1,0 +1,57 @@
+"""Tests for the network-level batching comparator."""
+
+from repro.core.batching import BATCH_HEADER_BYTES, Batch, BatchingHooks
+from repro.paxos.messages import Phase2b
+
+
+def _votes(count):
+    return [Phase2b(1, 1, "v", s) for s in range(count)]
+
+
+def test_single_message_not_batched():
+    hooks = BatchingHooks()
+    votes = _votes(1)
+    assert hooks.aggregate(votes, peer_id=0) is votes
+
+
+def test_multiple_messages_batched():
+    hooks = BatchingHooks()
+    result = hooks.aggregate(_votes(3), peer_id=0)
+    assert len(result) == 1
+    assert type(result[0]) is Batch
+    assert hooks.batches_built == 1
+    assert hooks.messages_batched == 3
+
+
+def test_batch_size_grows_with_contents():
+    """Unlike semantic aggregation, a batch is as big as its parts."""
+    votes = _votes(4)
+    batch = Batch(votes)
+    assert batch.size_bytes == BATCH_HEADER_BYTES + sum(
+        v.size_bytes for v in votes
+    )
+
+
+def test_batch_roundtrip():
+    hooks = BatchingHooks()
+    votes = _votes(5)
+    (batch,) = hooks.aggregate(list(votes), peer_id=0)
+    assert hooks.disaggregate(batch) == list(votes)
+
+
+def test_disaggregate_plain_message():
+    hooks = BatchingHooks()
+    vote = _votes(1)[0]
+    assert hooks.disaggregate(vote) == [vote]
+
+
+def test_max_batch_splits():
+    hooks = BatchingHooks(max_batch=2)
+    result = hooks.aggregate(_votes(5), peer_id=0)
+    assert len(result) == 3
+    assert type(result[0]) is Batch
+    assert type(result[2]) is Phase2b  # final chunk of one stays plain
+
+
+def test_batch_marked_aggregated():
+    assert Batch(_votes(2)).aggregated is True

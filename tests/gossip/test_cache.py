@@ -1,0 +1,70 @@
+"""Tests for the recently-seen cache."""
+
+import pytest
+
+from repro.gossip.cache import RecentlySeenCache
+
+
+def test_register_fresh_returns_true():
+    cache = RecentlySeenCache(10)
+    assert cache.register("a") is True
+
+
+def test_register_duplicate_returns_false():
+    cache = RecentlySeenCache(10)
+    cache.register("a")
+    assert cache.register("a") is False
+    assert cache.hits == 1
+
+
+def test_contains():
+    cache = RecentlySeenCache(10)
+    cache.register("a")
+    assert "a" in cache
+    assert "b" not in cache
+
+
+def test_eviction_of_oldest():
+    cache = RecentlySeenCache(2)
+    cache.register("a")
+    cache.register("b")
+    cache.register("c")  # evicts "a"
+    assert "a" not in cache
+    assert "b" in cache
+    assert "c" in cache
+    assert cache.evictions == 1
+
+
+def test_evicted_id_registers_as_fresh_again():
+    """The paper's 'no deliver-and-forward-once guarantee' behaviour."""
+    cache = RecentlySeenCache(1)
+    cache.register("a")
+    cache.register("b")
+    assert cache.register("a") is True
+
+
+def test_len_bounded_by_capacity():
+    cache = RecentlySeenCache(5)
+    for i in range(100):
+        cache.register(i)
+    assert len(cache) == 5
+
+
+def test_invalid_capacity():
+    with pytest.raises(ValueError):
+        RecentlySeenCache(0)
+
+
+def test_counters():
+    cache = RecentlySeenCache(10)
+    for uid in ("a", "b", "a", "a"):
+        cache.register(uid)
+    assert cache.registered == 2
+    assert cache.hits == 2
+
+
+def test_tuple_uids():
+    cache = RecentlySeenCache(10)
+    assert cache.register(("2B", 1, 1, 3)) is True
+    assert cache.register(("2B", 1, 1, 3)) is False
+    assert cache.register(("2B", 1, 1, 4)) is True

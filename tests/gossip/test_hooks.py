@@ -1,0 +1,21 @@
+"""Tests for the default (no-op) semantic hooks."""
+
+from repro.gossip.hooks import SemanticHooks
+from repro.net.message import RawPayload
+
+
+def test_default_validate_passes_everything():
+    hooks = SemanticHooks()
+    assert hooks.validate(RawPayload("m", 1), peer_id=3) is True
+
+
+def test_default_aggregate_is_identity():
+    hooks = SemanticHooks()
+    payloads = [RawPayload("a", 1), RawPayload("b", 1)]
+    assert hooks.aggregate(payloads, peer_id=0) is payloads
+
+
+def test_default_disaggregate_wraps_message():
+    hooks = SemanticHooks()
+    payload = RawPayload("a", 1)
+    assert hooks.disaggregate(payload) == [payload]

@@ -1,0 +1,128 @@
+"""Tests for directed links: timing, queueing, drops, loss."""
+
+import pytest
+
+from repro.net.channel import DirectedLink, LinkConfig
+from repro.net.message import RawPayload
+
+
+def _payload(uid="m", size=100):
+    return RawPayload(uid, size)
+
+
+def _link(sim, deliver, latency=0.01, loss_hook=None, **config_kwargs):
+    config = LinkConfig(**config_kwargs)
+    return DirectedLink(sim, 0, 1, latency, config, deliver, loss_hook)
+
+
+def test_delivery_after_tx_plus_latency(sim):
+    seen = []
+    link = _link(sim, lambda src, p: seen.append((src, p.uid, sim.now)),
+                 latency=0.010, per_message_s=0.001, per_byte_s=0.0)
+    link.transmit(_payload())
+    sim.run()
+    assert seen == [(0, "m", pytest.approx(0.011))]
+
+
+def test_per_byte_cost_charged(sim):
+    seen = []
+    link = _link(sim, lambda src, p: seen.append(sim.now),
+                 latency=0.0, per_message_s=0.0, per_byte_s=1e-5)
+    link.transmit(_payload(size=1000))
+    sim.run()
+    assert seen == [pytest.approx(0.01)]
+
+
+def test_serialization_is_sequential(sim):
+    """Two messages share the wire: second is delayed by the first's tx."""
+    seen = []
+    link = _link(sim, lambda src, p: seen.append((p.uid, sim.now)),
+                 latency=0.0, per_message_s=0.001, per_byte_s=0.0)
+    link.transmit(_payload("a"))
+    link.transmit(_payload("b"))
+    sim.run()
+    assert seen == [("a", pytest.approx(0.001)), ("b", pytest.approx(0.002))]
+
+
+def test_on_wire_fires_at_serialization_end(sim):
+    events = []
+    link = _link(sim, lambda src, p: events.append(("deliver", sim.now)),
+                 latency=0.5, per_message_s=0.001, per_byte_s=0.0)
+    link.transmit(_payload(), on_wire=lambda: events.append(("wire", sim.now)))
+    sim.run()
+    assert events[0] == ("wire", pytest.approx(0.001))
+    assert events[1] == ("deliver", pytest.approx(0.501))
+
+
+def test_queue_capacity_drops_and_counts(sim):
+    link = _link(sim, lambda src, p: None,
+                 per_message_s=1.0, queue_capacity=1)
+    link.transmit(_payload("a"))   # in service
+    link.transmit(_payload("b"))   # queued
+    link.transmit(_payload("c"))   # dropped
+    assert link.stats.dropped_queue == 1
+
+
+def test_queue_drop_still_fires_on_wire(sim):
+    """Senders pace on on_wire; a drop must not stall them."""
+    fired = []
+    link = _link(sim, lambda src, p: None,
+                 per_message_s=1.0, queue_capacity=0)
+    link.transmit(_payload("a"))
+    link.transmit(_payload("b"), on_wire=lambda: fired.append("b"))
+    assert fired == ["b"]
+
+
+def test_loss_hook_drops_at_delivery(sim):
+    seen = []
+    link = _link(sim, lambda src, p: seen.append(p.uid),
+                 loss_hook=lambda dst: True)
+    link.transmit(_payload())
+    sim.run()
+    assert seen == []
+    assert link.stats.dropped_loss == 1
+    assert link.stats.delivered == 0
+
+
+def test_loss_hook_receives_destination(sim):
+    destinations = []
+
+    def hook(dst):
+        destinations.append(dst)
+        return False
+
+    link = _link(sim, lambda src, p: None, loss_hook=hook)
+    link.transmit(_payload())
+    sim.run()
+    assert destinations == [1]
+
+
+def test_stats_sent_and_bytes(sim):
+    link = _link(sim, lambda src, p: None)
+    link.transmit(_payload("a", size=10))
+    link.transmit(_payload("b", size=20))
+    sim.run()
+    assert link.stats.sent == 2
+    assert link.stats.bytes_sent == 30
+    assert link.stats.delivered == 2
+
+
+def test_jitter_spreads_delivery(sim):
+    seen = []
+    link = _link(sim, lambda src, p: seen.append(sim.now),
+                 latency=0.010, per_message_s=0.0, per_byte_s=0.0,
+                 jitter_s=0.005)
+    for i in range(20):
+        link.transmit(_payload("m{}".format(i)))
+    sim.run()
+    assert all(0.010 <= t <= 0.016 for t in seen)
+    assert len(set(seen)) > 1  # jitter actually varied
+
+
+def test_busy_and_queue_length(sim):
+    link = _link(sim, lambda src, p: None, per_message_s=1.0)
+    assert not link.busy
+    link.transmit(_payload("a"))
+    link.transmit(_payload("b"))
+    assert link.busy
+    assert link.queue_length == 1

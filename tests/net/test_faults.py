@@ -1,0 +1,45 @@
+"""Tests for the receiver-side loss injector."""
+
+import pytest
+
+from repro.net.faults import ReceiverLossInjector
+
+
+def test_zero_rate_never_drops(sim):
+    injector = ReceiverLossInjector(sim, 0.0)
+    assert not any(injector(1) for _ in range(1000))
+    assert injector.dropped == 0
+    assert injector.examined == 1000
+
+
+def test_full_rate_always_drops(sim):
+    injector = ReceiverLossInjector(sim, 1.0)
+    assert all(injector(1) for _ in range(100))
+    assert injector.dropped == 100
+
+
+def test_rate_statistics(sim):
+    injector = ReceiverLossInjector(sim, 0.2)
+    drops = sum(1 for _ in range(20000) if injector(3))
+    assert 0.18 <= drops / 20000 <= 0.22
+
+
+def test_invalid_rate_rejected(sim):
+    with pytest.raises(ValueError):
+        ReceiverLossInjector(sim, 1.5)
+    with pytest.raises(ValueError):
+        ReceiverLossInjector(sim, -0.1)
+
+
+def test_per_process_override(sim):
+    injector = ReceiverLossInjector(sim, 0.0, per_process={7: 1.0})
+    assert not injector(1)
+    assert injector(7)
+
+
+def test_deterministic_given_seed(sim):
+    from repro.sim.kernel import Simulator
+
+    a = ReceiverLossInjector(Simulator(seed=3), 0.5)
+    b = ReceiverLossInjector(Simulator(seed=3), 0.5)
+    assert [a(1) for _ in range(50)] == [b(1) for _ in range(50)]

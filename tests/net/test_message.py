@@ -1,0 +1,24 @@
+"""Tests for the payload base type."""
+
+from repro.net.message import Payload, RawPayload
+
+
+def test_payload_fields():
+    payload = Payload(("a", 1), 128)
+    assert payload.uid == ("a", 1)
+    assert payload.size_bytes == 128
+
+
+def test_payload_not_aggregated_by_default():
+    assert Payload("x", 1).aggregated is False
+
+
+def test_raw_payload_carries_data():
+    payload = RawPayload("x", 10, data={"k": "v"})
+    assert payload.data == {"k": "v"}
+
+
+def test_repr_mentions_uid_and_size():
+    text = repr(RawPayload("msg-1", 42))
+    assert "msg-1" in text
+    assert "42" in text

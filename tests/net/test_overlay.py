@@ -1,0 +1,115 @@
+"""Tests for random k-out overlays."""
+
+import random
+
+import pytest
+
+from repro.net.overlay import Overlay, default_k, generate_overlay
+from repro.net.topology import Topology
+
+
+def test_default_k_matches_paper_degrees():
+    """Average degree ~2k should approximate log2(n) (paper §4.2)."""
+    assert default_k(13) == 2    # degree ~4 vs paper's 3.7
+    assert default_k(53) == 3    # degree ~6 vs paper's 5.7
+    assert default_k(105) == 3   # degree ~6-7 vs paper's 6.7
+
+
+def test_generated_overlay_is_connected():
+    for seed in range(5):
+        overlay = generate_overlay(20, 2, random.Random(seed))
+        assert overlay.is_connected()
+
+
+def test_generation_is_deterministic():
+    a = generate_overlay(30, 3, random.Random(7))
+    b = generate_overlay(30, 3, random.Random(7))
+    assert a.edges == b.edges
+
+
+def test_distinct_seeds_differ():
+    a = generate_overlay(30, 3, random.Random(1))
+    b = generate_overlay(30, 3, random.Random(2))
+    assert a.edges != b.edges
+
+
+def test_minimum_degree_is_k():
+    """Every process opens k links, so its degree is at least k."""
+    overlay = generate_overlay(40, 3, random.Random(3))
+    for i in range(40):
+        assert overlay.degree(i) >= 3
+
+
+def test_average_degree_about_2k():
+    overlay = generate_overlay(100, 3, random.Random(4))
+    # Union of 2 x k draws minus collisions: between k and 2k.
+    assert 3.0 <= overlay.average_degree() <= 6.0
+
+
+def test_adjacency_is_symmetric():
+    overlay = generate_overlay(25, 2, random.Random(5))
+    for i in range(25):
+        for peer in overlay.peers(i):
+            assert i in overlay.peers(peer)
+
+
+def test_no_self_loops():
+    overlay = generate_overlay(25, 3, random.Random(6))
+    for i in range(25):
+        assert i not in overlay.peers(i)
+
+
+def test_k_clamped_for_tiny_systems():
+    overlay = generate_overlay(3, 10, random.Random(0))
+    assert overlay.is_connected()
+    for i in range(3):
+        assert overlay.degree(i) == 2
+
+
+def test_single_process_overlay():
+    overlay = generate_overlay(1)
+    assert overlay.is_connected()
+    assert overlay.edges == frozenset()
+
+
+def test_disconnected_overlay_detected():
+    overlay = Overlay(4, [frozenset((0, 1)), frozenset((2, 3))])
+    assert not overlay.is_connected()
+
+
+def test_shortest_latency_via_dijkstra():
+    # Path 0-1-2 with known latencies; no direct 0-2 edge.
+    overlay = Overlay(3, [frozenset((0, 1)), frozenset((1, 2))])
+    topology = Topology(3)
+    dist = overlay.shortest_latency_s(topology, 0)
+    expected = topology.latency_s(0, 1) + topology.latency_s(1, 2)
+    assert dist[2] == pytest.approx(expected)
+
+
+def test_coordinator_rtts_exclude_self():
+    overlay = generate_overlay(13, 2, random.Random(9))
+    rtts = overlay.coordinator_rtts_s(Topology(13))
+    assert 0 not in rtts
+    assert len(rtts) == 12
+    assert all(rtt > 0 for rtt in rtts.values())
+
+
+def test_median_rtt_is_positive_and_reasonable():
+    overlay = generate_overlay(13, 2, random.Random(10))
+    median = overlay.median_coordinator_rtt_ms(Topology(13))
+    # Direct WAN RTTs from NV span 14..210 ms; overlay paths may stretch.
+    assert 10.0 <= median <= 600.0
+
+
+def test_median_rtt_varies_across_overlays():
+    topology = Topology(13)
+    medians = {
+        generate_overlay(13, 2, random.Random(s)).median_coordinator_rtt_ms(topology)
+        for s in range(10)
+    }
+    assert len(medians) > 3
+
+
+def test_generate_uses_fallback_rng_when_none():
+    overlay = generate_overlay(10)
+    assert overlay.is_connected()

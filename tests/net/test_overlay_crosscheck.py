@@ -1,0 +1,55 @@
+"""Cross-checks of overlay algorithms against networkx references."""
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.net.overlay import generate_overlay
+from repro.net.topology import Topology
+
+
+def _as_nx(overlay, topology):
+    graph = nx.Graph()
+    graph.add_nodes_from(range(overlay.n))
+    for edge in overlay.edges:
+        a, b = tuple(edge)
+        graph.add_edge(a, b, weight=topology.latency_s(a, b))
+    return graph
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_dijkstra_matches_networkx(seed):
+    overlay = generate_overlay(26, 2, random.Random(seed))
+    topology = Topology(26)
+    ours = overlay.shortest_latency_s(topology, 0)
+    reference = nx.single_source_dijkstra_path_length(
+        _as_nx(overlay, topology), 0)
+    assert set(ours) == set(reference)
+    for node in ours:
+        assert ours[node] == pytest.approx(reference[node])
+
+
+@pytest.mark.parametrize("seed", [3, 4, 5])
+def test_connectivity_matches_networkx(seed):
+    overlay = generate_overlay(30, 2, random.Random(seed))
+    assert overlay.is_connected() == nx.is_connected(
+        _as_nx(overlay, Topology(30)))
+
+
+def test_disconnected_graph_agrees_with_networkx():
+    from repro.net.overlay import Overlay
+
+    overlay = Overlay(6, [frozenset((0, 1)), frozenset((2, 3)),
+                          frozenset((4, 5))])
+    graph = _as_nx(overlay, Topology(6))
+    assert overlay.is_connected() is False
+    assert nx.is_connected(graph) is False
+    assert nx.number_connected_components(graph) == 3
+
+
+def test_average_degree_matches_networkx():
+    overlay = generate_overlay(40, 3, random.Random(7))
+    graph = _as_nx(overlay, Topology(40))
+    nx_mean = sum(dict(graph.degree).values()) / graph.number_of_nodes()
+    assert overlay.average_degree() == pytest.approx(nx_mean)

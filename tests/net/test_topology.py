@@ -1,0 +1,59 @@
+"""Tests for the process-level latency model."""
+
+import pytest
+
+from repro.net.regions import INTRA_REGION_LATENCY_MS
+from repro.net.topology import Topology
+
+
+def test_rejects_empty_system():
+    with pytest.raises(ValueError):
+        Topology(0)
+
+
+def test_round_robin_region_assignment():
+    topology = Topology(30)
+    for i in range(30):
+        assert topology.region(i) == i % 13
+
+
+def test_region_names():
+    topology = Topology(13)
+    assert topology.region_name(0) == "north-virginia"
+    assert topology.region_name(1) == "canada"
+
+
+def test_latency_in_seconds():
+    topology = Topology(13)
+    assert topology.latency_s(0, 1) == pytest.approx(0.007)
+
+
+def test_same_region_uses_lan_latency():
+    topology = Topology(27)
+    # Processes 0 and 13 are both in North Virginia.
+    assert topology.latency_s(0, 13) == pytest.approx(INTRA_REGION_LATENCY_MS / 1000)
+
+
+def test_latency_symmetry():
+    topology = Topology(20)
+    for a in range(20):
+        for b in range(20):
+            assert topology.latency_s(a, b) == pytest.approx(topology.latency_s(b, a))
+
+
+def test_rtt_is_twice_one_way():
+    topology = Topology(13)
+    assert topology.rtt_s(0, 8) == pytest.approx(2 * topology.latency_s(0, 8))
+
+
+def test_client_latency_is_lan():
+    topology = Topology(13)
+    assert topology.client_latency_s(5) == pytest.approx(
+        INTRA_REGION_LATENCY_MS / 1000
+    )
+
+
+def test_processes_in_region():
+    topology = Topology(27)
+    assert topology.processes_in_region(0) == [0, 13, 26]
+    assert topology.processes_in_region(1) == [1, 14]

@@ -1,0 +1,94 @@
+"""Tests for the acceptor role."""
+
+from repro.paxos.acceptor import Acceptor
+from repro.paxos.messages import Phase1a, Phase2a, Value
+
+
+def _value(vid="v"):
+    return Value(vid, client_id=0, size_bytes=10)
+
+
+def test_promise_granted_for_higher_round():
+    acceptor = Acceptor(3)
+    reply = acceptor.on_phase1a(Phase1a(1, 1, coordinator=0))
+    assert reply is not None
+    assert reply.round == 1
+    assert reply.sender == 3
+    assert reply.accepted == ()
+
+
+def test_promise_rejected_for_stale_round():
+    acceptor = Acceptor(3)
+    acceptor.on_phase1a(Phase1a(5, 1, coordinator=0))
+    assert acceptor.on_phase1a(Phase1a(5, 1, coordinator=0)) is None
+    assert acceptor.on_phase1a(Phase1a(4, 1, coordinator=0)) is None
+
+
+def test_accept_returns_vote():
+    acceptor = Acceptor(3)
+    vote = acceptor.on_phase2a(Phase2a(1, 1, _value()))
+    assert vote is not None
+    assert (vote.instance, vote.round, vote.value_id, vote.sender) == (1, 1, "v", 3)
+
+
+def test_accept_rejected_below_promised_round():
+    acceptor = Acceptor(3)
+    acceptor.on_phase1a(Phase1a(5, 1, coordinator=0))
+    assert acceptor.on_phase2a(Phase2a(1, 4, _value())) is None
+
+
+def test_accept_at_promised_round_allowed():
+    acceptor = Acceptor(3)
+    acceptor.on_phase1a(Phase1a(5, 1, coordinator=0))
+    assert acceptor.on_phase2a(Phase2a(1, 5, _value())) is not None
+
+
+def test_accept_raises_promise():
+    """Accepting in round r implicitly promises r."""
+    acceptor = Acceptor(3)
+    acceptor.on_phase2a(Phase2a(1, 7, _value()))
+    assert acceptor.on_phase1a(Phase1a(6, 1, coordinator=0)) is None
+    assert acceptor.on_phase1a(Phase1a(8, 1, coordinator=0)) is not None
+
+
+def test_phase1b_reports_accepted_values():
+    acceptor = Acceptor(3)
+    acceptor.on_phase2a(Phase2a(1, 1, _value("a")))
+    acceptor.on_phase2a(Phase2a(4, 1, _value("b")))
+    reply = acceptor.on_phase1a(Phase1a(2, 1, coordinator=0))
+    assert [(i, r, v.value_id) for (i, r, v) in reply.accepted] == [
+        (1, 1, "a"),
+        (4, 1, "b"),
+    ]
+
+
+def test_phase1b_respects_from_instance():
+    acceptor = Acceptor(3)
+    acceptor.on_phase2a(Phase2a(1, 1, _value("a")))
+    acceptor.on_phase2a(Phase2a(4, 1, _value("b")))
+    reply = acceptor.on_phase1a(Phase1a(2, 3, coordinator=0))
+    assert [i for (i, _, _) in reply.accepted] == [4]
+
+
+def test_reaccept_overwrites_with_higher_round():
+    acceptor = Acceptor(3)
+    acceptor.on_phase2a(Phase2a(1, 1, _value("a")))
+    acceptor.on_phase2a(Phase2a(1, 3, _value("b")))
+    assert acceptor.accepted[1][0] == 3
+    assert acceptor.accepted[1][1].value_id == "b"
+
+
+def test_forget_compacts_state():
+    acceptor = Acceptor(3)
+    for instance in range(1, 6):
+        acceptor.on_phase2a(Phase2a(instance, 1, _value()))
+    acceptor.forget_up_to(3)
+    assert sorted(acceptor.accepted) == [4, 5]
+    acceptor.forget_up_to(2)  # lower watermark is a no-op
+    assert sorted(acceptor.accepted) == [4, 5]
+
+
+def test_vote_carries_attempt_tag():
+    acceptor = Acceptor(3)
+    vote = acceptor.on_phase2a(Phase2a(1, 1, _value(), attempt=2), attempt=2)
+    assert vote.uid == ("2B", 1, 1, 3, 2)

@@ -1,0 +1,161 @@
+"""Tests for the coordinator role."""
+
+from repro.paxos.coordinator import Coordinator
+from repro.paxos.messages import Phase1a, Phase1b, Phase2a, Value
+
+
+class RecordingComm:
+    """Captures broadcast messages for assertions."""
+
+    def __init__(self):
+        self.sent = []
+
+    def broadcast(self, payload):
+        self.sent.append(payload)
+
+    def of_type(self, kind):
+        return [m for m in self.sent if type(m) is kind]
+
+
+def _value(vid="v"):
+    return Value(vid, client_id=0, size_bytes=10)
+
+
+def _coordinator(n=5):
+    comm = RecordingComm()
+    coordinator = Coordinator(0, n, comm)
+    return coordinator, comm
+
+
+def _complete_phase1(coordinator, n=5, accepted=()):
+    """Feed a majority of empty (or given) promises."""
+    majority = n // 2 + 1
+    for sender in range(majority):
+        acc = accepted if sender == 0 else ()
+        coordinator.on_phase1b(Phase1b(1, sender, acc), now=0.0)
+
+
+def test_start_broadcasts_ranged_phase1a():
+    coordinator, comm = _coordinator()
+    coordinator.start(now=0.0)
+    (msg,) = comm.of_type(Phase1a)
+    assert msg.round == 1
+    assert msg.from_instance == 1
+
+
+def test_phase1_completes_on_majority():
+    coordinator, _ = _coordinator(n=5)
+    coordinator.start(0.0)
+    coordinator.on_phase1b(Phase1b(1, 1, ()), 0.0)
+    coordinator.on_phase1b(Phase1b(1, 2, ()), 0.0)
+    assert not coordinator.phase1_complete
+    coordinator.on_phase1b(Phase1b(1, 3, ()), 0.0)
+    assert coordinator.phase1_complete
+
+
+def test_stale_round_promises_ignored():
+    coordinator, _ = _coordinator(n=5)
+    coordinator.start(0.0)
+    for sender in range(1, 4):
+        coordinator.on_phase1b(Phase1b(9, sender, ()), 0.0)
+    assert not coordinator.phase1_complete
+
+
+def test_values_buffered_until_phase1_completes():
+    coordinator, comm = _coordinator()
+    coordinator.start(0.0)
+    coordinator.on_client_value(_value("a"), 0.0)
+    assert comm.of_type(Phase2a) == []
+    _complete_phase1(coordinator)
+    (msg,) = comm.of_type(Phase2a)
+    assert msg.value.value_id == "a"
+    assert msg.instance == 1
+
+
+def test_values_proposed_in_consecutive_instances():
+    coordinator, comm = _coordinator()
+    coordinator.start(0.0)
+    _complete_phase1(coordinator)
+    for vid in ("a", "b", "c"):
+        coordinator.on_client_value(_value(vid), 0.0)
+    proposals = comm.of_type(Phase2a)
+    assert [(m.instance, m.value.value_id) for m in proposals] == [
+        (1, "a"), (2, "b"), (3, "c"),
+    ]
+
+
+def test_duplicate_value_not_proposed_twice():
+    coordinator, comm = _coordinator()
+    coordinator.start(0.0)
+    _complete_phase1(coordinator)
+    coordinator.on_client_value(_value("a"), 0.0)
+    coordinator.on_client_value(_value("a"), 0.0)
+    assert len(comm.of_type(Phase2a)) == 1
+
+
+def test_reproposes_accepted_values_for_safety():
+    """Values reported in Phase 1b must be re-proposed in their instance."""
+    coordinator, comm = _coordinator()
+    coordinator.start(0.0)
+    _complete_phase1(coordinator, accepted=((2, 1, _value("old")),))
+    (msg,) = comm.of_type(Phase2a)
+    assert msg.instance == 2
+    assert msg.value.value_id == "old"
+    # New values skip the re-proposed instance.
+    coordinator.on_client_value(_value("new"), 0.0)
+    new_msg = comm.of_type(Phase2a)[-1]
+    assert new_msg.instance == 3
+
+
+def test_highest_round_accepted_value_wins():
+    coordinator, comm = _coordinator()
+    coordinator.start(0.0)
+    coordinator.on_phase1b(Phase1b(1, 1, ((1, 1, _value("low")),)), 0.0)
+    coordinator.on_phase1b(Phase1b(1, 2, ((1, 3, _value("high")),)), 0.0)
+    coordinator.on_phase1b(Phase1b(1, 3, ()), 0.0)
+    (msg,) = comm.of_type(Phase2a)
+    assert msg.value.value_id == "high"
+
+
+def test_on_decided_clears_proposal():
+    coordinator, _ = _coordinator()
+    coordinator.start(0.0)
+    _complete_phase1(coordinator)
+    coordinator.on_client_value(_value("a"), 0.0)
+    assert coordinator.outstanding == 1
+    coordinator.on_decided(1)
+    assert coordinator.outstanding == 0
+    assert coordinator.decided_count == 1
+
+
+def test_retransmit_phase2a_after_timeout():
+    coordinator, comm = _coordinator()
+    coordinator.start(0.0)
+    _complete_phase1(coordinator)
+    coordinator.on_client_value(_value("a"), now=0.0)
+    coordinator.check_timeouts(now=0.5, timeout=1.0)
+    assert len(comm.of_type(Phase2a)) == 1  # not yet
+    coordinator.check_timeouts(now=1.5, timeout=1.0)
+    retransmits = comm.of_type(Phase2a)
+    assert len(retransmits) == 2
+    # The retransmission carries a fresh uid (attempt tag).
+    assert retransmits[0].uid != retransmits[1].uid
+
+
+def test_retransmit_phase1a_while_incomplete():
+    coordinator, comm = _coordinator()
+    coordinator.start(0.0)
+    coordinator.check_timeouts(now=2.0, timeout=1.0)
+    retries = comm.of_type(Phase1a)
+    assert len(retries) == 2
+    assert retries[0].uid != retries[1].uid
+
+
+def test_decided_instances_not_retransmitted():
+    coordinator, comm = _coordinator()
+    coordinator.start(0.0)
+    _complete_phase1(coordinator)
+    coordinator.on_client_value(_value("a"), 0.0)
+    coordinator.on_decided(1)
+    coordinator.check_timeouts(now=10.0, timeout=1.0)
+    assert len(comm.of_type(Phase2a)) == 1

@@ -1,0 +1,50 @@
+"""Tests for coordinator round parameterisation (failover incarnations)."""
+
+from repro.paxos.coordinator import Coordinator
+from repro.paxos.messages import Phase1a, Phase1b, Phase2a, Value
+from tests.paxos.test_coordinator import RecordingComm
+
+
+def _value(vid="v"):
+    return Value(vid, 0, 10)
+
+
+def test_custom_round_used_in_phase1():
+    comm = RecordingComm()
+    coordinator = Coordinator(3, 5, comm, round_=9)
+    coordinator.start(0.0)
+    (msg,) = comm.of_type(Phase1a)
+    assert msg.round == 9
+
+
+def test_custom_first_instance_respected():
+    comm = RecordingComm()
+    coordinator = Coordinator(3, 5, comm, first_instance=42, round_=9)
+    coordinator.start(0.0)
+    for sender in range(3):
+        coordinator.on_phase1b(Phase1b(9, sender, ()), 0.0)
+    coordinator.on_client_value(_value(), 0.0)
+    (msg,) = comm.of_type(Phase2a)
+    assert msg.instance == 42
+    assert msg.round == 9
+
+
+def test_promises_for_other_rounds_ignored():
+    comm = RecordingComm()
+    coordinator = Coordinator(3, 5, comm, round_=9)
+    coordinator.start(0.0)
+    for sender in range(3):
+        coordinator.on_phase1b(Phase1b(1, sender, ()), 0.0)  # stale round
+    assert not coordinator.phase1_complete
+
+
+def test_takeover_reproposal_uses_new_round():
+    """An accepted value from the old round is re-proposed in the new."""
+    comm = RecordingComm()
+    coordinator = Coordinator(3, 5, comm, first_instance=10, round_=9)
+    coordinator.start(0.0)
+    coordinator.on_phase1b(Phase1b(9, 0, ((10, 1, _value("old")),)), 0.0)
+    coordinator.on_phase1b(Phase1b(9, 1, ()), 0.0)
+    coordinator.on_phase1b(Phase1b(9, 2, ()), 0.0)
+    (msg,) = comm.of_type(Phase2a)
+    assert (msg.instance, msg.round, msg.value.value_id) == (10, 9, "old")

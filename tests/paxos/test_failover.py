@@ -1,0 +1,96 @@
+"""Tests for coordinator failover (round change beyond startup).
+
+The paper keeps a fixed coordinator; this extension exercises the part of
+Paxos the fail-free deployment never reaches — a backup electing itself
+with a higher round, re-running Phase 1, and re-proposing in-flight
+values — over the actual gossip substrate with a crashed coordinator.
+"""
+
+import pytest
+
+from repro.runtime.config import ExperimentConfig
+from repro.runtime.runner import run_deployment
+from tests.conftest import fast_config
+
+
+def _failover_config(**overrides):
+    defaults = dict(
+        setup="gossip", n=7, rate=40, warmup=0.6, duration=1.4, drain=4.0,
+        seed=9,
+        crashes=((0, 1.0, None),),       # coordinator dies mid-workload
+        failover_timeout=0.4,
+        retransmit_timeout=0.4,
+    )
+    defaults.update(overrides)
+    return fast_config(**defaults)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        ExperimentConfig(setup="baseline", failover_timeout=0.5)
+    with pytest.raises(ValueError):
+        ExperimentConfig(protocol="raft", failover_timeout=0.5)
+    with pytest.raises(ValueError):
+        ExperimentConfig(spaxos=True, failover_timeout=0.5)
+
+
+def test_backup_takes_over_after_coordinator_crash():
+    deployment, report = run_deployment(_failover_config())
+    takeovers = [p for p in deployment.processes if p.takeovers > 0]
+    assert takeovers, "no backup took over"
+    new_coordinator = takeovers[0]
+    assert new_coordinator.process_id != 0
+    assert new_coordinator.coordinator is not None
+    assert new_coordinator.coordinator.phase1_complete
+    assert new_coordinator.coordinator.round > 1
+
+
+def test_progress_resumes_after_failover():
+    """Values submitted after the takeover are ordered."""
+    deployment, report = run_deployment(_failover_config())
+    # Every live client eventually orders values again: decisions exist
+    # beyond what the dead coordinator could have proposed by t=1.0.
+    live = [p for p in deployment.processes if p.process_id != 0]
+    decided_counts = [len(p.learner.decided) for p in live]
+    assert max(decided_counts) > 40 * 1.0 * 0.8  # > pre-crash workload
+
+
+def test_no_failover_without_silence():
+    """A healthy coordinator never gets preempted."""
+    config = _failover_config(crashes=())
+    deployment, report = run_deployment(config)
+    assert all(p.takeovers == 0 for p in deployment.processes)
+    assert report.not_ordered == 0
+
+
+def test_safety_across_failover():
+    """All processes deliver the same gap-free sequence: the round change
+    never decides two values for one instance."""
+    deployment, _ = run_deployment(_failover_config())
+    logs = []
+    for process in deployment.processes[1:]:  # 0 is crashed
+        decided = process.learner.decided
+        logs.append([(i, decided[i].value_id) for i in sorted(decided)])
+    reference = max(logs, key=len)
+    for log in logs:
+        prefix = min(len(log), len(reference))
+        assert log[:prefix] == reference[:prefix]
+
+
+def test_in_flight_values_reproposed():
+    """Values forwarded just before the crash are decided by the new
+    coordinator (possibly duplicated — never lost)."""
+    deployment, report = run_deployment(_failover_config())
+    # Clients of live processes keep their loss bounded to the outage
+    # window: the vast majority of their submissions get ordered.
+    live_clients = [c for c in deployment.clients if c.client_id != 0]
+    for client in live_clients:
+        assert client.own_decided >= 0.7 * client.submitted
+
+
+def test_staggered_ranks_prefer_lowest_backup():
+    deployment, _ = run_deployment(_failover_config(seed=11))
+    takeovers = sorted(p.process_id for p in deployment.processes
+                       if p.takeovers > 0)
+    # The rank-1 process (id 1) should be among the first to take over.
+    assert takeovers[0] == 1

@@ -1,0 +1,53 @@
+"""Tests for the gap-free decision log."""
+
+from repro.paxos.log import DecisionLog
+
+
+def test_in_order_delivery():
+    log = DecisionLog()
+    log.add(1, "a")
+    assert log.pop_ready() == [(1, "a")]
+    log.add(2, "b")
+    assert log.pop_ready() == [(2, "b")]
+
+
+def test_gap_blocks_delivery():
+    log = DecisionLog()
+    log.add(2, "b")
+    assert log.pop_ready() == []
+    assert log.gap_blocked == 1
+
+
+def test_gap_fill_releases_prefix():
+    log = DecisionLog()
+    log.add(3, "c")
+    log.add(2, "b")
+    log.add(1, "a")
+    assert log.pop_ready() == [(1, "a"), (2, "b"), (3, "c")]
+    assert log.gap_blocked == 0
+
+
+def test_duplicate_adds_ignored():
+    log = DecisionLog()
+    log.add(1, "a")
+    log.add(1, "other")
+    assert log.pop_ready() == [(1, "a")]
+    log.add(1, "again")  # already delivered
+    assert log.pop_ready() == []
+
+
+def test_delivered_count():
+    log = DecisionLog()
+    for i in (1, 2, 4):
+        log.add(i, str(i))
+    log.pop_ready()
+    assert log.delivered_count == 2
+    log.add(3, "3")
+    log.pop_ready()
+    assert log.delivered_count == 4
+
+
+def test_custom_first_instance():
+    log = DecisionLog(first_instance=10)
+    log.add(10, "x")
+    assert log.pop_ready() == [(10, "x")]

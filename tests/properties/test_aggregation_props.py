@@ -1,0 +1,87 @@
+"""Property-based tests of semantic aggregation (reversibility, coverage)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.aggregation import SemanticAggregator
+from repro.paxos.messages import Aggregated2b, Decision, Phase2a, Phase2b, Value
+
+
+votes = st.builds(
+    Phase2b,
+    st.integers(min_value=1, max_value=4),      # instance
+    st.integers(min_value=1, max_value=2),      # round
+    st.sampled_from(["x", "y"]),                # value id
+    st.integers(min_value=0, max_value=9),      # sender
+)
+
+
+def _vote_identity(msg):
+    return (msg.instance, msg.round, msg.value_id, msg.sender)
+
+
+def _flatten(messages):
+    out = []
+    for msg in messages:
+        if type(msg) is Aggregated2b:
+            out.extend(msg.disaggregate())
+        else:
+            out.append(msg)
+    return out
+
+
+@given(pending=st.lists(votes, max_size=25))
+@settings(max_examples=200, deadline=None)
+def test_aggregation_preserves_vote_information(pending):
+    """Disaggregating the output yields exactly the input votes (as a set:
+    duplicate senders collapse, which is semantically lossless)."""
+    aggregator = SemanticAggregator()
+    result = aggregator.aggregate(list(pending), peer_id=0)
+    assert {_vote_identity(m) for m in _flatten(result)} == {
+        _vote_identity(m) for m in pending
+    }
+
+
+@given(pending=st.lists(votes, max_size=25))
+@settings(max_examples=200, deadline=None)
+def test_aggregation_never_grows_the_list(pending):
+    aggregator = SemanticAggregator()
+    result = aggregator.aggregate(list(pending), peer_id=0)
+    assert len(result) <= len(pending)
+
+
+@given(pending=st.lists(votes, max_size=25))
+@settings(max_examples=200, deadline=None)
+def test_aggregation_never_increases_bytes(pending):
+    aggregator = SemanticAggregator()
+    result = aggregator.aggregate(list(pending), peer_id=0)
+    assert sum(m.size_bytes for m in result) <= sum(
+        m.size_bytes for m in pending
+    ) or not pending
+
+
+@given(pending=st.lists(votes, max_size=20))
+@settings(max_examples=200, deadline=None)
+def test_aggregation_idempotent(pending):
+    aggregator = SemanticAggregator()
+    once = aggregator.aggregate(list(pending), peer_id=0)
+    twice = aggregator.aggregate(list(once), peer_id=0)
+    assert {_vote_identity(m) for m in _flatten(twice)} == {
+        _vote_identity(m) for m in _flatten(once)
+    }
+
+
+@given(
+    pending=st.lists(votes, max_size=15),
+    extras=st.integers(min_value=0, max_value=3),
+)
+@settings(max_examples=100, deadline=None)
+def test_non_votes_pass_through_in_order(pending, extras):
+    value = Value("v", 0, 10)
+    others = [Decision(i + 1, 1, value) for i in range(extras)]
+    others += [Phase2a(9, 1, value)]
+    mixed = list(pending) + others
+    aggregator = SemanticAggregator()
+    result = aggregator.aggregate(mixed, peer_id=0)
+    kept_others = [m for m in result if type(m) in (Decision, Phase2a)]
+    assert kept_others == others

@@ -1,0 +1,158 @@
+"""Property-based tests of Paxos safety.
+
+Agreement must hold under arbitrary message loss, duplication and
+reordering — the failure model of §2.1. We drive acceptors and learners
+directly with adversarial schedules drawn by hypothesis and assert that no
+two learners ever decide different values for the same instance, and that a
+decided value was actually proposed.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.paxos.acceptor import Acceptor
+from repro.paxos.learner import Learner
+from repro.paxos.messages import Phase1a, Phase2a, Phase2b, Value
+
+N = 5
+MAJORITY = N // 2 + 1
+
+
+def _value(vid):
+    return Value(vid, client_id=0, size_bytes=8)
+
+
+# Adversarial schedules of competing coordinators: each round is owned by
+# one coordinator which follows the protocol — Phase 1 against an arbitrary
+# quorum of acceptors (messages may be lost), value selection from the
+# highest-round accepted value reported, Phase 2 against another arbitrary
+# subset. Rounds are unique; their execution order is adversarial too.
+rounds_schedule = st.lists(
+    st.sampled_from(["red", "blue", "green"]),        # preferred value
+    min_size=1,
+    max_size=5,
+).flatmap(
+    lambda values: st.permutations(range(1, len(values) + 1)).map(
+        lambda rounds: list(zip(rounds, values))
+    )
+)
+
+
+@given(schedule=rounds_schedule, data=st.data())
+@settings(max_examples=200, deadline=None)
+def test_no_two_learners_disagree(schedule, data):
+    instance = 1
+    acceptors = [Acceptor(i) for i in range(N)]
+    learners = [Learner(N) for _ in range(3)]
+    votes = []
+
+    for round_, preferred in schedule:
+        # Phase 1 towards an arbitrary subset of acceptors.
+        mask1 = data.draw(
+            st.lists(st.booleans(), min_size=N, max_size=N), label="phase1-mask"
+        )
+        promises = []
+        for acceptor, visible in zip(acceptors, mask1):
+            if not visible:
+                continue
+            promise = acceptor.on_phase1a(Phase1a(round_, 1, coordinator=0))
+            if promise is not None:
+                promises.append(promise)
+        if len(promises) < MAJORITY:
+            continue  # coordinator cannot proceed with this round
+
+        # Value selection rule: highest-round accepted value, else preference.
+        best = None
+        for promise in promises:
+            for inst, accepted_round, value in promise.accepted:
+                if inst == instance and (best is None or accepted_round > best[0]):
+                    best = (accepted_round, value)
+        chosen = best[1] if best is not None else _value(preferred)
+
+        # Phase 2 towards another arbitrary subset.
+        mask2 = data.draw(
+            st.lists(st.booleans(), min_size=N, max_size=N), label="phase2-mask"
+        )
+        msg = Phase2a(instance, round_, chosen)
+        for acceptor, visible in zip(acceptors, mask2):
+            if not visible:
+                continue
+            vote = acceptor.on_phase2a(msg)
+            if vote is not None:
+                votes.append((vote, msg))
+
+    # Deliver votes (and matching 2a for value content) to each learner in
+    # an arbitrary order, with arbitrary drops and duplicates.
+    decided = {}
+    for learner_index, learner in enumerate(learners):
+        order = data.draw(
+            st.permutations(range(len(votes))), label="order-{}".format(learner_index)
+        )
+        for vote_index in order:
+            if data.draw(st.booleans(), label="drop"):
+                continue
+            vote, proposal_msg = votes[vote_index]
+            learner.on_phase2a(proposal_msg)
+            result = learner.on_phase2b(vote)
+            if result is not None:
+                decided[learner_index] = result[1].value_id
+
+    values = set(decided.values())
+    assert len(values) <= 1, "learners disagreed: {}".format(decided)
+    if values:
+        proposed = {vid for _, vid in schedule}
+        assert values <= proposed
+
+
+@given(
+    rounds=st.lists(st.integers(min_value=1, max_value=10), min_size=1, max_size=20),
+)
+@settings(max_examples=100, deadline=None)
+def test_acceptor_promise_is_monotone(rounds):
+    acceptor = Acceptor(0)
+    highest = 0
+    for round_ in rounds:
+        acceptor.on_phase1a(Phase1a(round_, 1, coordinator=0))
+        highest = max(highest, round_)
+        assert acceptor.promised_round == highest
+
+
+@given(
+    schedule=st.lists(
+        st.tuples(
+            st.integers(min_value=1, max_value=8),                    # round
+            st.sampled_from(["a", "b"]),                              # value
+            st.booleans(),                                             # phase1 first
+        ),
+        min_size=1,
+        max_size=15,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_acceptor_never_accepts_below_promise(schedule):
+    acceptor = Acceptor(0)
+    for round_, vid, do_phase1 in schedule:
+        if do_phase1:
+            acceptor.on_phase1a(Phase1a(round_, 1, coordinator=0))
+        promised_before = acceptor.promised_round
+        vote = acceptor.on_phase2a(Phase2a(1, round_, _value(vid)))
+        if round_ < promised_before:
+            assert vote is None
+        if vote is not None:
+            assert acceptor.promised_round >= round_
+
+
+@given(
+    voters=st.lists(st.integers(min_value=0, max_value=N - 1),
+                    min_size=1, max_size=30),
+)
+@settings(max_examples=100, deadline=None)
+def test_learner_needs_true_majority(voters):
+    learner = Learner(N)
+    learner.on_phase2a(Phase2a(1, 1, _value("v")))
+    decided = False
+    for sender in voters:
+        if learner.on_phase2b(Phase2b(1, 1, "v", sender)) is not None:
+            decided = True
+    distinct = len(set(voters))
+    assert decided == (distinct >= MAJORITY)

@@ -1,0 +1,71 @@
+"""Property-based tests for the Raft log and commit machinery."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.paxos.messages import Value
+from repro.raft.log import RaftLog
+from repro.raft.messages import LogEntry
+
+
+def _entry(index, term=1):
+    return LogEntry(term, index, Value(("v", index, term), 0, 8))
+
+
+@given(order=st.permutations(list(range(1, 13))))
+@settings(max_examples=100, deadline=None)
+def test_contiguity_invariant_under_any_arrival_order(order):
+    log = RaftLog()
+    for index in order:
+        log.store(_entry(index))
+        # The contiguous prefix is exactly the stored prefix.
+        stored = set(log.entries)
+        expected = 0
+        while expected + 1 in stored:
+            expected += 1
+        assert log.contiguous_index == expected
+    assert log.contiguous_index == 12
+
+
+@given(
+    order=st.permutations(list(range(1, 10))),
+    commits=st.lists(st.integers(min_value=1, max_value=9), min_size=1,
+                     max_size=9),
+)
+@settings(max_examples=100, deadline=None)
+def test_delivery_in_order_and_never_beyond_commit(order, commits):
+    log = RaftLog()
+    delivered = []
+    for index, commit in zip(order, commits + [commits[-1]] * 9):
+        log.store(_entry(index))
+        log.advance_commit(commit)
+        for entry in log.pop_deliverable():
+            delivered.append(entry.index)
+            assert entry.index <= log.commit_index
+    assert delivered == sorted(delivered)
+    assert delivered == list(range(1, len(delivered) + 1))
+
+
+@given(
+    terms=st.lists(st.integers(min_value=1, max_value=5), min_size=1,
+                   max_size=10),
+)
+@settings(max_examples=100, deadline=None)
+def test_conflict_resolution_keeps_highest_term(terms):
+    log = RaftLog()
+    for term in terms:
+        log.store(_entry(1, term=term))
+    assert log.entries[1].term == max(terms)
+
+
+@given(watermarks=st.lists(st.integers(min_value=0, max_value=100),
+                           min_size=1, max_size=30))
+@settings(max_examples=100, deadline=None)
+def test_commit_watermark_monotone(watermarks):
+    log = RaftLog()
+    high = 0
+    for mark in watermarks:
+        moved = log.advance_commit(mark)
+        assert moved == (mark > high)
+        high = max(high, mark)
+        assert log.commit_index == high

@@ -1,0 +1,82 @@
+"""Tests for the Raft log."""
+
+from repro.paxos.messages import Value
+from repro.raft.log import RaftLog
+from repro.raft.messages import LogEntry
+
+
+def _entry(index, term=1, vid=None):
+    return LogEntry(term, index, Value(vid or ("v", index), 0, 10))
+
+
+def test_sequential_store_is_contiguous():
+    log = RaftLog()
+    assert log.store(_entry(1)) == [1]
+    assert log.store(_entry(2)) == [2]
+    assert log.contiguous_index == 2
+
+
+def test_out_of_order_store_buffers():
+    log = RaftLog()
+    assert log.store(_entry(2)) == []
+    assert log.contiguous_index == 0
+    assert log.store(_entry(1)) == [1, 2]
+    assert log.contiguous_index == 2
+
+
+def test_duplicate_store_ignored():
+    log = RaftLog()
+    log.store(_entry(1))
+    assert log.store(_entry(1)) == []
+
+
+def test_higher_term_overwrites_conflict():
+    log = RaftLog()
+    log.store(_entry(1, term=1, vid="old"))
+    log.store(_entry(1, term=2, vid="new"))
+    assert log.entries[1].value.value_id == "new"
+
+
+def test_lower_term_does_not_overwrite():
+    log = RaftLog()
+    log.store(_entry(1, term=2, vid="keep"))
+    log.store(_entry(1, term=1, vid="stale"))
+    assert log.entries[1].value.value_id == "keep"
+
+
+def test_commit_watermark_monotone():
+    log = RaftLog()
+    assert log.advance_commit(3) is True
+    assert log.advance_commit(2) is False
+    assert log.commit_index == 3
+
+
+def test_delivery_requires_commit_and_contiguity():
+    log = RaftLog()
+    log.store(_entry(2))
+    log.advance_commit(2)
+    assert log.pop_deliverable() == []       # gap at index 1
+    assert log.gap_blocked == 2
+    log.store(_entry(1))
+    delivered = log.pop_deliverable()
+    assert [e.index for e in delivered] == [1, 2]
+    assert log.gap_blocked == 0
+
+
+def test_delivery_stops_at_commit_watermark():
+    log = RaftLog()
+    for i in (1, 2, 3):
+        log.store(_entry(i))
+    log.advance_commit(2)
+    assert [e.index for e in log.pop_deliverable()] == [1, 2]
+    log.advance_commit(3)
+    assert [e.index for e in log.pop_deliverable()] == [3]
+
+
+def test_term_of_and_last_index():
+    log = RaftLog()
+    assert log.term_of(1) == 0
+    assert log.last_index == 0
+    log.store(_entry(5, term=3))
+    assert log.term_of(5) == 3
+    assert log.last_index == 5

@@ -1,0 +1,73 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def _fast(extra):
+    """Common fast flags appended to a command line."""
+    return extra + ["--n", "7", "--rate", "30", "--duration", "0.8",
+                    "--warmup", "0.6", "--drain", "2.0", "--seed", "3"]
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_run_command(capsys):
+    assert main(_fast(["run", "--setup", "semantic"])) == 0
+    out = capsys.readouterr().out
+    assert "semantic" in out
+    assert "avg ms" in out
+
+
+def test_run_rejects_bad_setup():
+    with pytest.raises(SystemExit):
+        main(["run", "--setup", "bogus"])
+
+
+def test_compare_command(capsys):
+    assert main(_fast(["compare"])) == 0
+    out = capsys.readouterr().out
+    for setup in ("baseline", "gossip", "semantic"):
+        assert setup in out
+
+
+def test_sweep_command(capsys):
+    assert main(_fast(["sweep", "--setup", "gossip",
+                       "--rates", "20,40"])) == 0
+    out = capsys.readouterr().out
+    assert "(saturation)" in out
+
+
+def test_overlays_command(capsys):
+    assert main(_fast(["overlays", "--count", "4"])) == 0
+    out = capsys.readouterr().out
+    assert "(median)" in out
+    assert "median RTT ms" in out
+
+
+def test_reliability_command(capsys):
+    assert main(_fast(["reliability", "--losses", "0.0,0.3",
+                       "--rates", "30", "--runs", "1"])) == 0
+    out = capsys.readouterr().out
+    assert "gossip" in out
+    assert "semantic" in out
+
+
+def test_raft_protocol_flag(capsys):
+    assert main(_fast(["run", "--setup", "gossip",
+                       "--protocol", "raft"])) == 0
+    assert "raft" in capsys.readouterr().out
+
+
+def test_strategy_flag(capsys):
+    assert main(_fast(["run", "--setup", "gossip",
+                       "--strategy", "push-pull"])) == 0
+
+
+def test_loss_and_retransmit_flags(capsys):
+    assert main(_fast(["run", "--setup", "gossip", "--loss", "0.1",
+                       "--retransmit", "0.4"])) == 0

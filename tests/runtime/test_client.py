@@ -1,0 +1,87 @@
+"""Tests for the open-loop client."""
+
+from repro.paxos.messages import Value
+from repro.runtime.client import Client
+from repro.runtime.metrics import MetricsCollector
+
+
+class FakeProcess:
+    def __init__(self):
+        self.values = []
+
+    def submit_value(self, value):
+        self.values.append(value)
+
+
+def _client(sim, rate=10.0, start=0.0, stop=1.0, phase=0.0, collector=None):
+    return Client(
+        sim, client_id=2, process=FakeProcess(), rate=rate, value_size=100,
+        lan_delay_s=0.001, collector=collector or MetricsCollector(),
+        start_at=start, stop_at=stop, phase=phase,
+    )
+
+
+def test_open_loop_submission_count(sim):
+    client = _client(sim, rate=10.0, start=0.0, stop=1.0)
+    client.start()
+    sim.run()
+    # Submissions at 0.0, 0.1, ..., 1.0.
+    assert client.submitted == 11
+    assert len(client.process.values) == 11
+
+
+def test_submissions_stop_at_deadline(sim):
+    client = _client(sim, rate=100.0, start=0.0, stop=0.5)
+    client.start()
+    sim.run(until=10.0)
+    # 0.0, 0.01, ..., ~0.5 — the endpoint may fall off by float accumulation.
+    assert client.submitted in (50, 51)
+
+
+def test_phase_offsets_start(sim):
+    client = _client(sim, rate=10.0, start=0.0, stop=1.0, phase=0.05)
+    times = []
+    client.collector.record_submit = lambda vid, cid, now: times.append(now)
+    client.start()
+    sim.run()
+    assert times[0] == 0.05
+
+
+def test_value_ids_unique_and_owned(sim):
+    client = _client(sim, rate=10.0, stop=0.5)
+    client.start()
+    sim.run()
+    ids = [v.value_id for v in client.process.values]
+    assert len(set(ids)) == len(ids)
+    assert all(v.client_id == 2 for v in client.process.values)
+
+
+def test_lan_delay_before_process_sees_value(sim):
+    client = _client(sim, rate=10.0, stop=0.0)
+    client.start()
+    sim.run(max_events=1)  # the submit event
+    assert client.process.values == []  # still in flight
+    sim.run()
+    assert len(client.process.values) == 1
+
+
+def test_decision_recording_for_own_values(sim):
+    collector = MetricsCollector()
+    client = _client(sim, rate=10.0, stop=0.0, collector=collector)
+    client.start()
+    sim.run()
+    value = client.process.values[0]
+    client.on_decision(1, value)
+    assert client.own_decided == 1
+    (record,) = collector.records()
+    assert record.decided_at is not None
+
+
+def test_foreign_decisions_counted_but_not_recorded(sim):
+    collector = MetricsCollector()
+    client = _client(sim, rate=10.0, stop=0.0, collector=collector)
+    client.start()
+    sim.run()
+    client.on_decision(1, Value(("other", 0), client_id=9, size_bytes=10))
+    assert client.decisions_seen == 1
+    assert client.own_decided == 0

@@ -1,0 +1,68 @@
+"""Tests for the Communicator bindings."""
+
+from repro.net.message import RawPayload
+from repro.runtime.communicators import (
+    BaselineCommunicator,
+    GossipCommunicator,
+)
+
+
+class FakeDirectNode:
+    def __init__(self):
+        self.calls = []
+
+    def send(self, dst, payload):
+        self.calls.append(("send", dst, payload.uid))
+
+    def send_all(self, payload, include_self=True):
+        self.calls.append(("send_all", include_self, payload.uid))
+
+
+class FakeGossipNode:
+    def __init__(self):
+        self.broadcasts = []
+
+    def broadcast(self, payload):
+        self.broadcasts.append(payload.uid)
+
+
+def test_baseline_broadcast_includes_self():
+    node = FakeDirectNode()
+    comm = BaselineCommunicator(node, coordinator_id=0)
+    comm.broadcast(RawPayload("m", 1))
+    assert node.calls == [("send_all", True, "m")]
+
+
+def test_baseline_routes_to_coordinator():
+    node = FakeDirectNode()
+    comm = BaselineCommunicator(node, coordinator_id=7)
+    comm.to_coordinator(RawPayload("m", 1))
+    comm.phase2b(RawPayload("vote", 1))
+    assert node.calls == [("send", 7, "m"), ("send", 7, "vote")]
+
+
+def test_gossip_everything_is_broadcast():
+    node = FakeGossipNode()
+    comm = GossipCommunicator(node)
+    comm.broadcast(RawPayload("a", 1))
+    comm.to_coordinator(RawPayload("b", 1))
+    comm.phase2b(RawPayload("c", 1))
+    assert node.broadcasts == ["a", "b", "c"]
+
+
+def test_default_phase2b_falls_back_to_broadcast():
+    from repro.paxos.process import Communicator
+
+    class OnlyBroadcast(Communicator):
+        def __init__(self):
+            self.seen = []
+
+        def broadcast(self, payload):
+            self.seen.append(payload.uid)
+
+        def to_coordinator(self, payload):
+            raise AssertionError("not used")
+
+    comm = OnlyBroadcast()
+    comm.phase2b(RawPayload("v", 1))
+    assert comm.seen == ["v"]

@@ -1,0 +1,73 @@
+"""Tests for ExperimentConfig validation and derived properties."""
+
+import pytest
+
+from repro.runtime.config import SETUPS, ExperimentConfig
+
+
+def test_three_setups():
+    assert SETUPS == ("baseline", "gossip", "semantic")
+
+
+def test_unknown_setup_rejected():
+    with pytest.raises(ValueError):
+        ExperimentConfig(setup="magic")
+
+
+def test_too_small_system_rejected():
+    with pytest.raises(ValueError):
+        ExperimentConfig(n=2)
+
+
+def test_nonpositive_rate_rejected():
+    with pytest.raises(ValueError):
+        ExperimentConfig(rate=0)
+
+
+def test_invalid_loss_rate_rejected():
+    with pytest.raises(ValueError):
+        ExperimentConfig(loss_rate=1.2)
+
+
+def test_effective_k_matches_paper():
+    assert ExperimentConfig(n=13).effective_k == 2
+    assert ExperimentConfig(n=53).effective_k == 3
+    assert ExperimentConfig(n=105).effective_k == 3
+    assert ExperimentConfig(n=13, k=5).effective_k == 5
+
+
+def test_overlay_seed_defaults_to_seed():
+    assert ExperimentConfig(seed=9).effective_overlay_seed == 9
+    assert ExperimentConfig(seed=9, overlay_seed=2).effective_overlay_seed == 2
+
+
+def test_num_clients_one_per_region():
+    assert ExperimentConfig(n=13).effective_num_clients == 13
+    assert ExperimentConfig(n=105).effective_num_clients == 13
+    assert ExperimentConfig(n=5).effective_num_clients == 5
+    assert ExperimentConfig(n=20, num_clients=4).effective_num_clients == 4
+
+
+def test_time_horizon_properties():
+    config = ExperimentConfig(warmup=1.0, duration=2.0, drain=3.0)
+    assert config.end_of_workload == 3.0
+    assert config.end_of_run == 6.0
+
+
+def test_majority():
+    assert ExperimentConfig(n=13).majority == 7
+    assert ExperimentConfig(n=105).majority == 53
+
+
+def test_replace_overrides_selected_fields():
+    base = ExperimentConfig(setup="gossip", n=13, rate=50)
+    other = base.replace(rate=100, setup="semantic")
+    assert other.rate == 100
+    assert other.setup == "semantic"
+    assert other.n == 13
+    assert base.rate == 50  # original untouched
+
+
+def test_replace_validates():
+    with pytest.raises(ValueError):
+        ExperimentConfig().replace(setup="bogus")

@@ -1,0 +1,107 @@
+"""Tests for deployment wiring of the three setups."""
+
+from repro.core.semantics import PaxosSemantics
+from repro.gossip.bloom import SlidingBloomFilter
+from repro.gossip.hooks import SemanticHooks
+from repro.gossip.node import GossipNode
+from repro.runtime.deployment import build_deployment
+from repro.runtime.direct import DirectNode
+from tests.conftest import fast_config
+
+
+def test_baseline_is_a_star_around_coordinator():
+    deployment = build_deployment(fast_config(setup="baseline", n=7))
+    assert deployment.overlay is None
+    assert sorted(deployment.transports[0].peers()) == [1, 2, 3, 4, 5, 6]
+    for i in range(1, 7):
+        assert deployment.transports[i].peers() == [0]
+    assert all(type(node) is DirectNode for node in deployment.nodes)
+
+
+def test_gossip_uses_overlay_links():
+    deployment = build_deployment(fast_config(setup="gossip", n=9))
+    overlay = deployment.overlay
+    assert overlay is not None
+    assert overlay.is_connected()
+    for i in range(9):
+        assert sorted(deployment.transports[i].peers()) == list(overlay.peers(i))
+        assert sorted(deployment.nodes[i].peers()) == list(overlay.peers(i))
+    assert all(type(node) is GossipNode for node in deployment.nodes)
+
+
+def test_gossip_nodes_have_noop_hooks():
+    deployment = build_deployment(fast_config(setup="gossip", n=7))
+    for node in deployment.nodes:
+        assert type(node.hooks) is SemanticHooks
+
+
+def test_semantic_nodes_have_paxos_hooks():
+    deployment = build_deployment(fast_config(setup="semantic", n=7))
+    for node in deployment.nodes:
+        assert isinstance(node.hooks, PaxosSemantics)
+        assert node.hooks.n == 7
+    # Each node owns its own hook state.
+    hooks = {id(node.hooks) for node in deployment.nodes}
+    assert len(hooks) == 7
+
+
+def test_semantics_flags_propagate():
+    config = fast_config(setup="semantic", n=7, enable_aggregation=False)
+    deployment = build_deployment(config)
+    assert all(not node.hooks.enable_aggregation for node in deployment.nodes)
+    assert all(node.hooks.enable_filtering for node in deployment.nodes)
+
+
+def test_same_overlay_seed_means_same_overlay():
+    a = build_deployment(fast_config(setup="gossip", overlay_seed=5))
+    b = build_deployment(fast_config(setup="semantic", overlay_seed=5))
+    assert a.overlay.edges == b.overlay.edges
+
+
+def test_different_overlay_seeds_differ():
+    a = build_deployment(fast_config(setup="gossip", overlay_seed=1, n=13))
+    b = build_deployment(fast_config(setup="gossip", overlay_seed=2, n=13))
+    assert a.overlay.edges != b.overlay.edges
+
+
+def test_one_client_per_region():
+    deployment = build_deployment(fast_config(n=7))
+    assert len(deployment.clients) == 7
+    for client in deployment.clients:
+        assert client.process.process_id == client.client_id
+
+
+def test_client_rate_split_evenly():
+    deployment = build_deployment(fast_config(n=7, rate=70.0))
+    assert all(client.rate == 10.0 for client in deployment.clients)
+
+
+def test_loss_injector_only_when_configured():
+    assert build_deployment(fast_config()).loss_injector is None
+    lossy = build_deployment(fast_config(loss_rate=0.1))
+    assert lossy.loss_injector is not None
+    assert lossy.loss_injector.rate == 0.1
+
+
+def test_bloom_dedup_option():
+    deployment = build_deployment(fast_config(use_bloom_dedup=True))
+    assert all(
+        type(node.cache) is SlidingBloomFilter for node in deployment.nodes
+    )
+
+
+def test_processes_wired_to_nodes():
+    deployment = build_deployment(fast_config(n=7))
+    for node, process in zip(deployment.nodes, deployment.processes):
+        assert node.deliver == process.handle
+
+
+def test_coordinator_role_assignment():
+    deployment = build_deployment(fast_config(n=7))
+    assert deployment.processes[0].is_coordinator
+    assert all(not p.is_coordinator for p in deployment.processes[1:])
+
+
+def test_retransmit_timeout_propagates():
+    deployment = build_deployment(fast_config(retransmit_timeout=0.5))
+    assert deployment.processes[0].retransmit_timeout == 0.5

@@ -1,0 +1,71 @@
+"""Tests for metrics collection and report mathematics."""
+
+import pytest
+
+from repro.runtime.metrics import (
+    MetricsCollector,
+    mean,
+    percentile,
+    stddev,
+)
+
+
+def test_mean():
+    assert mean([1.0, 2.0, 3.0]) == 2.0
+    assert mean([]) == 0.0
+
+
+def test_stddev():
+    assert stddev([2.0, 4.0]) == pytest.approx(1.4142, abs=1e-3)
+    assert stddev([5.0]) == 0.0
+    assert stddev([]) == 0.0
+
+
+def test_percentile_interpolates():
+    xs = [0.0, 10.0]
+    assert percentile(xs, 0) == 0.0
+    assert percentile(xs, 100) == 10.0
+    assert percentile(xs, 50) == 5.0
+
+
+def test_percentile_edge_cases():
+    assert percentile([], 50) == 0.0
+    assert percentile([7.0], 99) == 7.0
+
+
+def test_percentile_monotone():
+    xs = sorted([3.0, 1.0, 4.0, 1.5, 9.0, 2.6])
+    values = [percentile(xs, p) for p in range(0, 101, 5)]
+    assert values == sorted(values)
+
+
+def test_collector_records_lifecycle():
+    collector = MetricsCollector()
+    collector.record_submit("v1", client_id=3, now=1.0)
+    collector.record_decided("v1", now=1.5)
+    (record,) = collector.records()
+    assert record.client_id == 3
+    assert record.submitted_at == 1.0
+    assert record.decided_at == 1.5
+
+
+def test_collector_first_decision_wins():
+    collector = MetricsCollector()
+    collector.record_submit("v1", 0, 1.0)
+    collector.record_decided("v1", 2.0)
+    collector.record_decided("v1", 9.0)
+    (record,) = collector.records()
+    assert record.decided_at == 2.0
+
+
+def test_collector_ignores_unknown_value():
+    collector = MetricsCollector()
+    collector.record_decided("ghost", 1.0)  # no crash
+    assert list(collector.records()) == []
+
+
+def test_undecided_record_has_none():
+    collector = MetricsCollector()
+    collector.record_submit("v1", 0, 1.0)
+    (record,) = collector.records()
+    assert record.decided_at is None

@@ -1,0 +1,75 @@
+"""Tests for the online total-order safety monitor."""
+
+import pytest
+
+from repro.paxos.messages import Value
+from repro.runtime.deployment import build_deployment
+from repro.runtime.monitor import SafetyViolation, TotalOrderMonitor
+from tests.conftest import fast_config
+
+
+def _value(vid):
+    return Value(vid, 0, 8)
+
+
+class TestRecord:
+    def test_clean_sequence_accepted(self):
+        monitor = TotalOrderMonitor()
+        for process_id in (0, 1):
+            monitor.record(process_id, 1, _value("a"))
+            monitor.record(process_id, 2, _value("b"))
+        assert monitor.deliveries == 4
+
+    def test_agreement_violation_detected(self):
+        monitor = TotalOrderMonitor()
+        monitor.record(0, 1, _value("a"))
+        with pytest.raises(SafetyViolation):
+            monitor.record(1, 1, _value("DIFFERENT"))
+
+    def test_gap_detected(self):
+        monitor = TotalOrderMonitor()
+        monitor.record(0, 1, _value("a"))
+        with pytest.raises(SafetyViolation):
+            monitor.record(0, 3, _value("c"))
+
+    def test_duplicate_instance_detected(self):
+        monitor = TotalOrderMonitor()
+        monitor.record(0, 1, _value("a"))
+        with pytest.raises(SafetyViolation):
+            monitor.record(0, 1, _value("a"))
+
+    def test_laggards(self):
+        monitor = TotalOrderMonitor()
+        monitor.record(0, 1, _value("a"))
+        monitor.record(0, 2, _value("b"))
+        monitor.record(1, 1, _value("a"))
+        assert monitor.laggards() == {1: 2}
+
+
+class TestAttached:
+    @pytest.mark.parametrize("kwargs", [
+        dict(setup="gossip"),
+        dict(setup="semantic"),
+        dict(setup="semantic", protocol="raft"),
+        dict(setup="gossip", spaxos=True),
+        dict(setup="gossip", loss_rate=0.1, drain=3.0),
+        dict(setup="gossip", crashes=((0, 1.0, None),),
+             failover_timeout=0.4, retransmit_timeout=0.4, drain=4.0),
+    ])
+    def test_no_violation_in_real_runs(self, kwargs):
+        """Whole-system runs — including loss, S-Paxos and coordinator
+        failover — never trip the agreement/order monitor."""
+        config = fast_config(n=7, rate=40, **kwargs)
+        deployment = build_deployment(config)
+        monitor = TotalOrderMonitor().attach(deployment)
+        deployment.start()
+        deployment.run()
+        assert monitor.deliveries > 0
+
+    def test_monitor_preserves_client_notifications(self):
+        config = fast_config(setup="gossip", n=7, rate=40)
+        deployment = build_deployment(config)
+        TotalOrderMonitor().attach(deployment)
+        deployment.start()
+        deployment.run()
+        assert all(c.own_decided > 0 for c in deployment.clients)

@@ -1,0 +1,115 @@
+"""End-to-end runner tests: small but complete experiments."""
+
+import pytest
+
+from repro.runtime.runner import run_deployment, run_experiment
+from tests.conftest import fast_config
+
+
+@pytest.mark.parametrize("setup", ["baseline", "gossip", "semantic"])
+def test_all_values_ordered_in_failfree_run(setup):
+    report = run_experiment(fast_config(setup=setup))
+    assert report.submitted > 20
+    assert report.not_ordered == 0
+    assert report.decided == report.submitted
+
+
+@pytest.mark.parametrize("setup", ["baseline", "gossip", "semantic"])
+def test_latency_and_throughput_sane(setup):
+    report = run_experiment(fast_config(setup=setup))
+    # WAN consensus latency: tens of ms to a second.
+    assert 0.01 < report.avg_latency_s < 1.0
+    assert report.throughput > 0
+    assert report.latency_percentile_s(99) >= report.median_latency_s
+
+
+def test_gossip_slower_than_baseline_at_low_load():
+    """The paper's core observation: gossip costs latency."""
+    baseline = run_experiment(fast_config(setup="baseline", n=13, rate=30))
+    gossip = run_experiment(fast_config(setup="gossip", n=13, rate=30))
+    assert gossip.avg_latency_s > baseline.avg_latency_s
+
+
+def test_semantic_reduces_messages_vs_gossip():
+    gossip = run_experiment(fast_config(setup="gossip", n=13, rate=60))
+    semantic = run_experiment(fast_config(setup="semantic", n=13, rate=60))
+    assert semantic.messages.received_total < gossip.messages.received_total
+    assert semantic.messages.filtered > 0
+    # Decisions are unaffected.
+    assert semantic.not_ordered == 0
+
+
+def test_total_order_across_all_processes():
+    deployment, _ = run_deployment(fast_config(setup="gossip", n=7))
+    logs = []
+    for process in deployment.processes:
+        decided = process.learner.decided
+        logs.append([decided[i].value_id for i in sorted(decided)])
+    reference = logs[0]
+    assert len(reference) > 0
+    for log in logs[1:]:
+        prefix = min(len(log), len(reference))
+        assert log[:prefix] == reference[:prefix]
+
+
+def test_gossip_decides_by_vote_majority():
+    _, report = run_deployment(fast_config(setup="gossip", n=7))
+    assert report.decided_by_majority > 0
+
+
+def test_baseline_regular_processes_decide_by_decision_message():
+    deployment, _ = run_deployment(fast_config(setup="baseline", n=7))
+    for process in deployment.processes[1:]:
+        assert process.learner.decided_by_message > 0
+        assert process.learner.decided_by_majority == 0
+
+
+def test_deterministic_given_seed():
+    a = run_experiment(fast_config(setup="semantic", seed=3))
+    b = run_experiment(fast_config(setup="semantic", seed=3))
+    assert a.latencies_s == b.latencies_s
+    assert a.messages.received_total == b.messages.received_total
+
+
+def test_different_seeds_differ():
+    a = run_experiment(fast_config(setup="gossip", seed=3))
+    b = run_experiment(fast_config(setup="gossip", seed=4))
+    # Different overlays: dissemination paths, hence latencies, differ.
+    assert a.latencies_s != b.latencies_s
+
+
+def test_loss_with_retransmission_recovers():
+    config = fast_config(setup="gossip", loss_rate=0.15,
+                         retransmit_timeout=0.4, drain=4.0)
+    report = run_experiment(config)
+    assert report.not_ordered_fraction < 0.2
+
+
+def test_heavy_loss_without_retransmission_fails_values():
+    config = fast_config(setup="gossip", n=7, rate=60, loss_rate=0.35,
+                         seed=11)
+    report = run_experiment(config)
+    assert report.not_ordered > 0
+
+
+def test_report_repr_readable():
+    report = run_experiment(fast_config())
+    text = repr(report)
+    assert "avg_latency" in text
+    assert "throughput" in text
+
+
+def test_per_client_latencies_cover_all_clients():
+    report = run_experiment(fast_config(n=7))
+    assert set(report.per_client_latencies_s) == set(range(7))
+    assert all(len(v) > 0 for v in report.per_client_latencies_s.values())
+
+
+def test_latency_cdf_monotone():
+    report = run_experiment(fast_config())
+    cdf = report.latency_cdf()
+    xs = [x for x, _ in cdf]
+    ys = [y for _, y in cdf]
+    assert xs == sorted(xs)
+    assert ys == sorted(ys)
+    assert ys[-1] <= 1.0

@@ -1,0 +1,100 @@
+"""Tests for parameter sweeps and saturation detection."""
+
+import pytest
+
+from repro.runtime.metrics import MetricsReport, MessageStats
+from repro.runtime.sweep import (
+    SweepPoint,
+    find_saturation_point,
+    loss_grid,
+    overlay_median_rtt_ms,
+    overlay_sweep,
+    select_median_overlay,
+    workload_sweep,
+)
+from tests.conftest import fast_config
+
+
+def _fake_point(rate, latency, throughput):
+    config = fast_config(rate=rate, duration=1.0)
+    report = MetricsReport(
+        config=config,
+        latencies_s=[latency],
+        per_client_latencies_s={},
+        submitted=int(throughput),
+        decided=int(throughput),
+        decided_in_window=int(throughput),
+        message_stats=MessageStats(),
+        decided_by_majority=0,
+        decided_by_message=0,
+    )
+    # decided_in_window/duration == throughput by construction
+    return SweepPoint(rate, report)
+
+
+def test_knee_at_highest_throughput_latency_ratio():
+    points = [
+        _fake_point(10, 0.100, 10),    # ratio 100
+        _fake_point(20, 0.105, 20),    # ratio 190
+        _fake_point(40, 0.120, 40),    # ratio 333  <- knee
+        _fake_point(80, 0.400, 44),    # ratio 110
+    ]
+    assert find_saturation_point(points) == 2
+
+
+def test_knee_ignores_dead_points():
+    points = [
+        _fake_point(10, 0.0, 0),
+        _fake_point(20, 0.1, 20),
+    ]
+    assert find_saturation_point(points) == 1
+
+
+def test_knee_raises_when_nothing_decided():
+    with pytest.raises(ValueError):
+        find_saturation_point([_fake_point(10, 0.0, 0)])
+
+
+def test_workload_sweep_end_to_end():
+    points = workload_sweep(fast_config(setup="baseline"), [20, 40])
+    assert [p.rate for p in points] == [20, 40]
+    assert points[1].throughput > points[0].throughput
+
+
+def test_overlay_sweep_varies_rtt():
+    points = overlay_sweep(fast_config(setup="gossip", n=13, rate=20,
+                                       duration=0.6, drain=1.5),
+                           overlay_seeds=[1, 2, 3])
+    rtts = [p.median_rtt_ms for p in points]
+    assert len(set(rtts)) > 1
+    assert all(p.report.decided > 0 for p in points)
+
+
+def test_overlay_median_rtt_matches_sweep():
+    config = fast_config(setup="gossip", n=13)
+    direct = overlay_median_rtt_ms(config, overlay_seed=5)
+    points = overlay_sweep(config.replace(rate=20, duration=0.5, drain=1.5),
+                           overlay_seeds=[5])
+    assert points[0].median_rtt_ms == pytest.approx(direct)
+
+
+def test_select_median_overlay():
+    points = overlay_sweep(fast_config(setup="gossip", n=13, rate=20,
+                                       duration=0.5, drain=1.5),
+                           overlay_seeds=[1, 2, 3, 4, 5])
+    chosen = select_median_overlay(points)
+    ordered = sorted(points,
+                     key=lambda p: (p.median_rtt_ms, p.report.avg_latency_s))
+    assert chosen is ordered[2]
+
+
+def test_loss_grid_shape_and_reliability_trend():
+    grid = loss_grid(
+        fast_config(setup="gossip", n=7, duration=0.8, drain=2.5),
+        loss_rates=[0.0, 0.4],
+        rates=[40],
+        runs_per_cell=2,
+    )
+    assert set(grid) == {(0.0, 40), (0.4, 40)}
+    assert grid[(0.0, 40)] == 0.0
+    assert grid[(0.4, 40)] > 0.0

@@ -1,0 +1,65 @@
+"""Unit tests for Actor timers."""
+
+from repro.sim.actors import Actor
+
+
+def test_actor_after_fires_once(sim):
+    actor = Actor(sim, "a")
+    seen = []
+    actor.after(2.0, seen.append, "fired")
+    sim.run()
+    assert seen == ["fired"]
+
+
+def test_actor_now_tracks_sim_clock(sim):
+    actor = Actor(sim, "a")
+    times = []
+    actor.after(1.5, lambda: times.append(actor.now))
+    sim.run()
+    assert times == [1.5]
+
+
+def test_every_repeats_at_interval(sim):
+    actor = Actor(sim, "a")
+    times = []
+    timer = actor.every(1.0, lambda: times.append(sim.now))
+    sim.run(until=3.5)
+    timer.stop()
+    assert times == [1.0, 2.0, 3.0]
+
+
+def test_timer_stop_prevents_future_firings(sim):
+    actor = Actor(sim, "a")
+    count = []
+    timer = actor.every(1.0, lambda: count.append(1))
+    sim.run(until=1.5)
+    timer.stop()
+    sim.run(until=10.0)
+    assert len(count) == 1
+
+
+def test_timer_stop_from_within_callback(sim):
+    actor = Actor(sim, "a")
+    fired = []
+
+    def callback():
+        fired.append(sim.now)
+        if len(fired) == 2:
+            timer.stop()
+
+    timer = actor.every(1.0, callback)
+    sim.run(until=10.0)
+    assert fired == [1.0, 2.0]
+
+
+def test_timer_passes_args(sim):
+    actor = Actor(sim, "a")
+    seen = []
+    timer = actor.every(1.0, seen.append, "tick")
+    sim.run(until=2.5)
+    timer.stop()
+    assert seen == ["tick", "tick"]
+
+
+def test_actor_repr_contains_name(sim):
+    assert "xyz" in repr(Actor(sim, "xyz"))

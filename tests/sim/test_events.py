@@ -1,0 +1,84 @@
+"""Unit tests for the event queue."""
+
+from repro.sim.events import Event, EventQueue
+
+
+def test_push_returns_event_handle():
+    queue = EventQueue()
+    event = queue.push(1.0, lambda: None, ())
+    assert isinstance(event, Event)
+    assert event.time == 1.0
+    assert not event.cancelled
+
+
+def test_pop_returns_events_in_time_order():
+    queue = EventQueue()
+    queue.push(3.0, "c", ())
+    queue.push(1.0, "a", ())
+    queue.push(2.0, "b", ())
+    assert [queue.pop().fn for _ in range(3)] == ["a", "b", "c"]
+
+
+def test_same_time_events_pop_in_scheduling_order():
+    queue = EventQueue()
+    for label in ("first", "second", "third"):
+        queue.push(5.0, label, ())
+    assert [queue.pop().fn for _ in range(3)] == ["first", "second", "third"]
+
+
+def test_pop_skips_cancelled_events():
+    queue = EventQueue()
+    keep = queue.push(1.0, "keep", ())
+    drop = queue.push(0.5, "drop", ())
+    drop.cancel()
+    queue.note_cancelled()
+    assert queue.pop() is keep
+
+
+def test_pop_empty_returns_none():
+    assert EventQueue().pop() is None
+
+
+def test_len_counts_live_events_only():
+    queue = EventQueue()
+    event = queue.push(1.0, "x", ())
+    queue.push(2.0, "y", ())
+    assert len(queue) == 2
+    event.cancel()
+    queue.note_cancelled()
+    assert len(queue) == 1
+
+
+def test_peek_time_ignores_cancelled_head():
+    queue = EventQueue()
+    head = queue.push(1.0, "x", ())
+    queue.push(2.0, "y", ())
+    head.cancel()
+    queue.note_cancelled()
+    assert queue.peek_time() == 2.0
+
+
+def test_peek_time_empty_is_none():
+    assert EventQueue().peek_time() is None
+
+
+def test_cancel_clears_references():
+    queue = EventQueue()
+    event = queue.push(1.0, "payload", ("big-arg",))
+    event.cancel()
+    assert event.fn is None
+    assert event.args == ()
+
+
+def test_event_ordering_dunder():
+    a = Event(1.0, 0, None, ())
+    b = Event(1.0, 1, None, ())
+    c = Event(2.0, 0, None, ())
+    assert a < b < c
+
+
+def test_event_repr_mentions_state():
+    event = Event(1.5, 3, None, ())
+    assert "1.5" in repr(event)
+    event.cancelled = True
+    assert "cancelled" in repr(event)

@@ -1,0 +1,137 @@
+"""Unit tests for the Simulator event loop."""
+
+import pytest
+
+from repro.sim.kernel import SimulationError, Simulator
+
+
+def test_clock_starts_at_zero(sim):
+    assert sim.now == 0.0
+
+
+def test_schedule_executes_at_right_time(sim):
+    seen = []
+    sim.schedule(2.5, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [2.5]
+
+
+def test_schedule_with_args(sim):
+    seen = []
+    sim.schedule(1.0, seen.append, "value")
+    sim.run()
+    assert seen == ["value"]
+
+
+def test_schedule_at_absolute_time(sim):
+    seen = []
+    sim.schedule_at(4.0, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [4.0]
+
+
+def test_schedule_in_past_raises(sim):
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule(-0.1, lambda: None)
+    with pytest.raises(SimulationError):
+        sim.schedule_at(0.5, lambda: None)
+
+
+def test_run_until_advances_clock_exactly(sim):
+    sim.schedule(10.0, lambda: None)
+    sim.run(until=3.0)
+    assert sim.now == 3.0
+    assert sim.pending() == 1
+
+
+def test_run_until_composes(sim):
+    seen = []
+    sim.schedule(1.0, lambda: seen.append("a"))
+    sim.schedule(5.0, lambda: seen.append("b"))
+    sim.run(until=2.0)
+    assert seen == ["a"]
+    sim.run(until=6.0)
+    assert seen == ["a", "b"]
+
+
+def test_run_until_with_empty_queue_still_advances(sim):
+    sim.run(until=7.0)
+    assert sim.now == 7.0
+
+
+def test_max_events_limits_execution(sim):
+    seen = []
+    for i in range(5):
+        sim.schedule(float(i + 1), seen.append, i)
+    executed = sim.run(max_events=2)
+    assert executed == 2
+    assert seen == [0, 1]
+
+
+def test_step_executes_one_event(sim):
+    seen = []
+    sim.schedule(1.0, seen.append, "x")
+    assert sim.step() is True
+    assert seen == ["x"]
+    assert sim.step() is False
+
+
+def test_cancel_prevents_execution(sim):
+    seen = []
+    event = sim.schedule(1.0, seen.append, "x")
+    sim.cancel(event)
+    sim.run()
+    assert seen == []
+    assert sim.pending() == 0
+
+
+def test_double_cancel_is_noop(sim):
+    event = sim.schedule(1.0, lambda: None)
+    sim.cancel(event)
+    sim.cancel(event)
+    assert sim.pending() == 0
+
+
+def test_events_scheduled_during_run_execute(sim):
+    seen = []
+
+    def first():
+        sim.schedule(1.0, lambda: seen.append("second"))
+
+    sim.schedule(1.0, first)
+    sim.run()
+    assert seen == ["second"]
+    assert sim.now == 2.0
+
+
+def test_rng_streams_are_deterministic():
+    a = Simulator(seed=1).rng("jitter")
+    b = Simulator(seed=1).rng("jitter")
+    assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+
+def test_rng_streams_are_independent_by_name():
+    sim = Simulator(seed=1)
+    assert sim.rng("a").random() != sim.rng("b").random()
+
+
+def test_rng_stream_cached_per_name(sim):
+    assert sim.rng("x") is sim.rng("x")
+
+
+def test_events_executed_counter(sim):
+    for i in range(3):
+        sim.schedule(float(i), lambda: None)
+    sim.run()
+    assert sim.events_executed == 3
+
+
+def test_reentrant_run_raises(sim):
+    def nested():
+        sim.run()
+
+    sim.schedule(1.0, nested)
+    with pytest.raises(SimulationError):
+        sim.run()

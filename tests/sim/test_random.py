@@ -1,0 +1,45 @@
+"""Unit tests for named RNG streams."""
+
+from repro.sim.random import make_stream, stream_seed
+
+
+def test_stream_seed_is_stable():
+    assert stream_seed(1, "overlay") == stream_seed(1, "overlay")
+
+
+def test_stream_seed_differs_by_name():
+    assert stream_seed(1, "overlay") != stream_seed(1, "faults")
+
+
+def test_stream_seed_differs_by_root():
+    assert stream_seed(1, "overlay") != stream_seed(2, "overlay")
+
+
+def test_stream_seed_fits_64_bits():
+    seed = stream_seed(123456789, "some-long-stream-name")
+    assert 0 <= seed < 2 ** 64
+
+
+def test_make_stream_reproducible():
+    a = make_stream(9, "x")
+    b = make_stream(9, "x")
+    assert [a.randint(0, 100) for _ in range(10)] == [
+        b.randint(0, 100) for _ in range(10)
+    ]
+
+
+def test_streams_do_not_interfere():
+    """Drawing from one stream must not perturb another."""
+    lone = make_stream(5, "b")
+    expected = [lone.random() for _ in range(5)]
+
+    a = make_stream(5, "a")
+    b = make_stream(5, "b")
+    for _ in range(100):
+        a.random()
+    assert [b.random() for _ in range(5)] == expected
+
+
+def test_no_collision_over_many_names():
+    seeds = {stream_seed(0, "stream-{}".format(i)) for i in range(2000)}
+    assert len(seeds) == 2000
