@@ -194,7 +194,8 @@ def render(results_dir):
                 rows.append(row)
             parts.append("\n**{}** (fraction of values not ordered; "
                          "columns = values/s)\n".format(setup))
-            parts.append(_table(["loss \\ rate"] + ["{:.0f}".format(r) for r in rates], rows))
+            parts.append(_table(
+                ["loss \\ rate"] + ["{:.0f}".format(r) for r in rates], rows))
 
     fig7 = _load(results_dir, "fig7_overlay_selection")
     if fig7:

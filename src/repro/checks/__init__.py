@@ -1,0 +1,44 @@
+"""Static and dynamic correctness checks for the reproduction.
+
+Two halves (see docs/static-analysis.md):
+
+* :mod:`repro.checks.linter` — an AST-based determinism linter that flags
+  nondeterminism hazards (global ``random``, wall-clock reads, set
+  iteration, unstable sort keys, mutable defaults) before they can break
+  the simulator's same-seed/same-run guarantee;
+* :mod:`repro.checks.monitor` — an online :class:`SafetyMonitor` that
+  checks Paxos safety invariants (agreement, ballot monotonicity,
+  quorum-backed decisions, aggregation reversibility) while a deployment
+  runs.
+
+Both are exposed through ``python -m repro check`` and, for the linter
+alone, ``python -m repro.checks``.
+"""
+
+from repro.checks.linter import (
+    Finding,
+    lint_file,
+    lint_paths,
+    lint_source,
+)
+from repro.checks.monitor import (
+    CheckedHooks,
+    InvariantViolation,
+    SafetyMonitor,
+    Violation,
+)
+from repro.checks.rules import RULES, Rule, get_rule
+
+__all__ = [
+    "CheckedHooks",
+    "Finding",
+    "InvariantViolation",
+    "RULES",
+    "Rule",
+    "SafetyMonitor",
+    "Violation",
+    "get_rule",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+]

@@ -1,0 +1,35 @@
+"""Lint-only entry point: ``python -m repro.checks [paths...]``.
+
+A thin shortcut around ``python -m repro check --lint`` that never imports
+the simulation runtime — handy for editor integrations and pre-commit
+hooks that only want the determinism linter.
+"""
+
+import os
+import sys
+
+from repro.checks.linter import lint_paths
+from repro.checks.report import format_findings_text
+
+
+def main(argv=None):
+    argv = sys.argv[1:] if argv is None else argv
+    if not argv:
+        import repro
+
+        argv = [os.path.dirname(os.path.abspath(repro.__file__))]
+    missing = sorted(path for path in argv if not os.path.exists(path))
+    if missing:
+        print("repro.checks: no such path: {}".format(", ".join(missing)),
+              file=sys.stderr)
+        return 2
+    findings = lint_paths(argv)
+    if findings:
+        print(format_findings_text(findings))
+        return 1
+    print("lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,126 @@
+"""The ``repro check`` subcommand: static lint + dynamic invariants.
+
+* ``repro check --lint [paths...]`` — run the determinism linter; exits 1
+  when any finding survives suppression.
+* ``repro check --invariants`` — run short seeded simulations of the
+  gossip and semantic setups with a :class:`SafetyMonitor` armed and
+  report every invariant violation; exits 1 on any.
+* ``repro check`` — both passes.
+* ``--json`` — machine-readable report on stdout instead of text.
+
+The lint pass imports nothing outside the stdlib-backed checks package,
+so it stays usable even when simulation dependencies are unavailable.
+"""
+
+import os
+import sys
+
+from repro.checks.linter import lint_paths
+from repro.checks.report import (
+    format_findings_text,
+    format_violations_text,
+    report_to_json,
+)
+
+#: Setups exercised by the invariant pass: classic gossip stresses
+#: reordering/duplication, semantic adds filtering + aggregation.
+_INVARIANT_SETUPS = ("gossip", "semantic")
+
+
+def _default_lint_paths():
+    """Lint target when none is given: the installed repro package."""
+    import repro
+
+    return [os.path.dirname(os.path.abspath(repro.__file__))]
+
+
+def _run_lint(args):
+    paths = args.paths or _default_lint_paths()
+    return lint_paths(paths)
+
+
+def _run_invariants(args):
+    # Imported lazily: the lint-only path must not pull in the runtime.
+    from repro.checks.monitor import SafetyMonitor
+    from repro.runtime.config import ExperimentConfig
+    from repro.runtime.runner import run_experiment
+
+    violations = []
+    summaries = {}
+    for setup in _INVARIANT_SETUPS:
+        config = ExperimentConfig(
+            setup=setup,
+            n=args.n,
+            rate=args.rate,
+            warmup=0.5,
+            duration=args.duration,
+            drain=2.0,
+            seed=args.seed,
+        )
+        monitor = SafetyMonitor(strict=False)
+        run_experiment(config, monitor=monitor)
+        violations.extend(monitor.violations)
+        summaries[setup] = monitor.summary()
+    return violations, summaries
+
+
+def cmd_check(args):
+    """Entry point for ``repro check``; returns the process exit code."""
+    do_lint = args.lint or not args.invariants
+    do_invariants = args.invariants or not args.lint
+
+    missing = sorted(path for path in args.paths if not os.path.exists(path))
+    if missing:
+        print("repro check: no such path: {}".format(", ".join(missing)),
+              file=sys.stderr)
+        return 2
+
+    findings = _run_lint(args) if do_lint else None
+    violations, summaries = (None, None)
+    if do_invariants:
+        violations, summaries = _run_invariants(args)
+
+    if args.json:
+        extra = {"invariant_runs": summaries} if summaries else None
+        print(report_to_json(findings, violations, extra=extra))
+    else:
+        if findings:
+            print(format_findings_text(findings))
+        elif findings is not None:
+            print("lint: clean")
+        if violations:
+            print(format_violations_text(violations))
+        elif violations is not None:
+            decided = sum(s["instances_decided"] for s in summaries.values())
+            print("invariants: clean ({} runs, {} instances decided)".format(
+                len(summaries), decided))
+    return 1 if findings or violations else 0
+
+
+def add_check_parser(sub):
+    """Register the ``check`` subcommand on an argparse subparsers object."""
+    p = sub.add_parser(
+        "check",
+        help="determinism lint + Paxos safety invariant monitor",
+        description="Static determinism lint over Python sources and/or "
+                    "dynamic Paxos safety invariants over seeded runs.",
+    )
+    p.add_argument("paths", nargs="*",
+                   help="files/directories to lint (default: the repro "
+                        "package)")
+    p.add_argument("--lint", action="store_true",
+                   help="run only the static determinism linter")
+    p.add_argument("--invariants", action="store_true",
+                   help="run only the dynamic safety invariant pass")
+    p.add_argument("--json", action="store_true",
+                   help="emit a machine-readable JSON report")
+    p.add_argument("--seed", type=int, default=1,
+                   help="root seed for the invariant runs")
+    p.add_argument("--n", type=int, default=7,
+                   help="system size for the invariant runs")
+    p.add_argument("--rate", type=float, default=40.0,
+                   help="submission rate for the invariant runs")
+    p.add_argument("--duration", type=float, default=1.0,
+                   help="measured duration of the invariant runs (s)")
+    p.set_defaults(func=cmd_check)
+    return p

@@ -1,0 +1,61 @@
+"""Text and JSON reporters for lint findings and invariant violations.
+
+The text form is the classic one-diagnostic-per-line compiler format
+(``path:line:col: rule-id message``) so editors and CI annotators can parse
+it; the JSON form is a stable machine-readable envelope used by
+``repro check --json``.
+"""
+
+import json
+
+
+def format_findings_text(findings):
+    """Human-readable lint report; empty string when clean."""
+    if not findings:
+        return ""
+    lines = [
+        "{}:{}:{}: {} {}".format(
+            finding.path, finding.line, finding.col + 1,
+            finding.rule_id, finding.message,
+        )
+        for finding in findings
+    ]
+    lines.append("{} finding{} ({} rule{})".format(
+        len(findings), "s" if len(findings) != 1 else "",
+        len({f.rule_id for f in findings}),
+        "s" if len({f.rule_id for f in findings}) != 1 else "",
+    ))
+    return "\n".join(lines)
+
+
+def format_violations_text(violations):
+    """Human-readable invariant report; empty string when clean."""
+    if not violations:
+        return ""
+    lines = [
+        "[{}] {}".format(violation.invariant, violation.message)
+        for violation in violations
+    ]
+    lines.append("{} violation{}".format(
+        len(violations), "s" if len(violations) != 1 else ""))
+    return "\n".join(lines)
+
+
+def report_to_json(findings=None, violations=None, extra=None):
+    """The ``repro check --json`` envelope as a serialized string."""
+    payload = {
+        "clean": not findings and not violations,
+    }
+    if findings is not None:
+        payload["lint"] = {
+            "findings": [finding.to_dict() for finding in findings],
+            "count": len(findings),
+        }
+    if violations is not None:
+        payload["invariants"] = {
+            "violations": [violation.to_dict() for violation in violations],
+            "count": len(violations),
+        }
+    if extra:
+        payload.update(extra)
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,90 @@
+"""Rule registry for the determinism linter.
+
+Every lint rule has a stable identifier used in three places: the reported
+diagnostics, the per-line suppression syntax (``# repro: allow-<rule-id>``)
+and the per-path exemption table below. Keeping them in one registry means
+reporters and the suppression parser never disagree about what exists.
+
+Rationale (DESIGN.md §2): the simulator promises *same seed → same run*.
+Any read of ambient state — the global ``random`` module, the wall clock,
+the iteration order of a hash-randomized ``set`` — silently breaks that
+promise without failing a single functional test, so it must be caught
+statically.
+"""
+
+
+class Rule:
+    """One lint rule: identifier, summary, and path exemptions.
+
+    ``exempt_fragments`` are path fragments (posix-style) for which the rule
+    does not apply — e.g. the named-stream module is the one legitimate home
+    of ``random.Random``.
+    """
+
+    __slots__ = ("id", "summary", "exempt_fragments")
+
+    def __init__(self, id_, summary, exempt_fragments=()):
+        self.id = id_
+        self.summary = summary
+        self.exempt_fragments = tuple(exempt_fragments)
+
+    def applies_to(self, path):
+        """Whether the rule is armed for ``path`` (posix-normalized)."""
+        normalized = str(path).replace("\\", "/")
+        return not any(fragment in normalized for fragment in self.exempt_fragments)
+
+    def __repr__(self):
+        return "Rule({!r})".format(self.id)
+
+
+GLOBAL_RANDOM = Rule(
+    "global-random",
+    "use of the global `random` module outside the named-stream system",
+    exempt_fragments=("repro/sim/random.py",),
+)
+
+WALL_CLOCK = Rule(
+    "wall-clock",
+    "wall-clock read inside simulation code (use sim.now instead)",
+    exempt_fragments=("repro/analysis/", "benchmarks/"),
+)
+
+SET_ITERATION = Rule(
+    "set-iteration",
+    "iteration over a set literal/comprehension; order is hash-dependent",
+)
+
+UNSTABLE_SORT_KEY = Rule(
+    "unstable-sort-key",
+    "id()/hash() used as a sort key; value varies across runs",
+)
+
+MUTABLE_DEFAULT = Rule(
+    "mutable-default",
+    "mutable default argument; shared state leaks across calls",
+)
+
+#: All rules, in reporting order. dict preserves insertion order and gives
+#: O(1) lookup by id for the suppression parser.
+RULES = {
+    rule.id: rule
+    for rule in (
+        GLOBAL_RANDOM,
+        WALL_CLOCK,
+        SET_ITERATION,
+        UNSTABLE_SORT_KEY,
+        MUTABLE_DEFAULT,
+    )
+}
+
+
+def get_rule(rule_id):
+    """Look up a rule by id; raises KeyError with the known ids listed."""
+    try:
+        return RULES[rule_id]
+    except KeyError:
+        raise KeyError(
+            "unknown rule {!r}; known rules: {}".format(
+                rule_id, ", ".join(sorted(RULES))
+            )
+        )

@@ -7,6 +7,8 @@ Exposes the experiment harness without writing Python:
 * ``sweep``       — a workload sweep with the saturation point marked.
 * ``overlays``    — the Fig. 7 overlay-ranking methodology.
 * ``reliability`` — the Fig. 6 loss x workload grid.
+* ``check``       — determinism lint + Paxos safety invariant monitor
+                    (see docs/static-analysis.md).
 
 All commands accept ``--seed`` and print deterministic results.
 """
@@ -15,6 +17,7 @@ import argparse
 import sys
 
 from repro.analysis.tables import format_heatmap, format_table
+from repro.checks.cli import add_check_parser
 from repro.runtime.config import SETUPS, ExperimentConfig
 from repro.runtime.runner import run_experiment
 from repro.runtime.sweep import (
@@ -190,6 +193,8 @@ def build_parser():
     p.add_argument("--runs", type=int, default=2)
     _add_common(p)
     p.set_defaults(func=cmd_reliability)
+
+    add_check_parser(sub)
 
     return parser
 

@@ -15,6 +15,15 @@ behaviour without being modified itself:
 
 The default implementation is a no-op: with it, the gossip layer behaves
 exactly like classic gossip.
+
+**Reversibility contract** (paper §3.2): an aggregation rule must neither
+lose nor invent protocol messages — flattening a send batch through
+``disaggregate`` before and after ``aggregate`` must yield the same
+multiset of message uids. Rules that satisfy this are transparent to the
+consensus protocol; rules that do not can silently break Paxos quorums.
+``repro check --invariants`` (see docs/static-analysis.md) enforces the
+contract at runtime by wrapping deployed hooks in
+:class:`repro.checks.monitor.CheckedHooks`.
 """
 
 
@@ -42,5 +51,8 @@ class SemanticHooks:
         """Reconstruct the original messages from an aggregated one.
 
         Only called for payloads whose ``aggregated`` attribute is true.
+        For reversible rules the reconstruction must be exact (see the
+        module-level reversibility contract); non-reversible rules return
+        the payload itself and their aggregates are delivered as-is.
         """
         return [payload]

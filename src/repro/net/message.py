@@ -27,7 +27,8 @@ class Payload:
         self.size_bytes = size_bytes
 
     def __repr__(self):
-        return "{}(uid={!r}, {}B)".format(type(self).__name__, self.uid, self.size_bytes)
+        return "{}(uid={!r}, {}B)".format(
+            type(self).__name__, self.uid, self.size_bytes)
 
 
 class RawPayload(Payload):

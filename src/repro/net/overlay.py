@@ -14,6 +14,8 @@ rank and select overlays in its Figures 7 and 8.
 import heapq
 import math
 
+from repro.sim.random import make_stream
+
 
 def default_k(n):
     """The paper's connection count.
@@ -106,17 +108,20 @@ class Overlay:
         return median * 1000.0
 
 
-def generate_overlay(n, k=None, rng=None, max_attempts=100):
+def generate_overlay(n, k=None, rng=None, max_attempts=100, seed=0):
     """Generate a connected random k-out overlay.
 
     Each process draws ``k`` distinct peers uniformly at random; the union
     of the drawn links, made bi-directional, is the overlay. Redraws until
     connected (at k ≈ log2 n disconnection is rare).
+
+    Randomness comes from ``rng`` when given; otherwise from the named
+    ``"overlay"`` stream of ``seed``, so overlay wiring always participates
+    in the experiment's named-stream seeding scheme and an extra draw
+    elsewhere can never change which overlay is built.
     """
     if rng is None:
-        import random as _random
-
-        rng = _random.Random(0)
+        rng = make_stream(seed, "overlay")
     if k is None:
         k = default_k(n)
     if n < 2:

@@ -84,7 +84,8 @@ def _great_circle_km(a, b):
     lat2, lon2 = math.radians(b[0]), math.radians(b[1])
     dlat = lat2 - lat1
     dlon = lon2 - lon1
-    h = math.sin(dlat / 2) ** 2 + math.cos(lat1) * math.cos(lat2) * math.sin(dlon / 2) ** 2
+    h = (math.sin(dlat / 2) ** 2
+         + math.cos(lat1) * math.cos(lat2) * math.sin(dlon / 2) ** 2)
     return 2 * _EARTH_RADIUS_KM * math.asin(math.sqrt(h))
 
 
@@ -129,7 +130,8 @@ def _build_matrix():
             elif j == COORDINATOR_REGION:
                 matrix[i][j] = TABLE1_LATENCY_MS[REGIONS[i]]
             else:
-                km = _great_circle_km(_COORDINATES[REGIONS[i]], _COORDINATES[REGIONS[j]])
+                km = _great_circle_km(_COORDINATES[REGIONS[i]],
+                                      _COORDINATES[REGIONS[j]])
                 matrix[i][j] = max(
                     INTRA_REGION_LATENCY_MS, _OVERHEAD_MS + km / _KM_PER_MS
                 )

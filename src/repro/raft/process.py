@@ -252,7 +252,7 @@ class RaftProcess(Actor):
             for entry in ready:
                 self.on_deliver(entry.index, entry.value)
 
-    # -- retransmission (optional, as in the Paxos deployment) ---------------------------
+    # -- retransmission (optional, as in the Paxos deployment) -------------
 
     def _track_follower_progress(self, index, sender):
         """Advance the leader's view of a follower's contiguous acks."""

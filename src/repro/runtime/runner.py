@@ -4,21 +4,38 @@ from repro.runtime.deployment import build_deployment
 from repro.runtime.metrics import build_report
 
 
-def run_experiment(config):
-    """Build, run and measure one experiment; returns a MetricsReport."""
+def _execute(config, monitor):
     deployment = build_deployment(config)
+    if monitor is not None:
+        # Armed before start so the monitor observes every message of the
+        # run, including the coordinator's t=0 Phase 1a.
+        monitor.attach(deployment)
     deployment.start()
     deployment.run()
-    return build_report(deployment)
+    if monitor is not None:
+        monitor.finalize()
+    return deployment
 
 
-def run_deployment(config):
+def run_experiment(config, monitor=None):
+    """Build, run and measure one experiment; returns a MetricsReport.
+
+    Parameters
+    ----------
+    monitor:
+        Optional :class:`repro.checks.monitor.SafetyMonitor` (or any object
+        with ``attach(deployment)``/``finalize()``) armed for the run.
+        Invariants are checked online; in the monitor's strict mode the
+        first violation raises from inside the offending simulated event.
+    """
+    return build_report(_execute(config, monitor))
+
+
+def run_deployment(config, monitor=None):
     """Like :func:`run_experiment` but returns the finished deployment too.
 
     Useful for tests and analyses that need to inspect internal state
     (per-node caches, learner counters, link statistics).
     """
-    deployment = build_deployment(config)
-    deployment.start()
-    deployment.run()
+    deployment = _execute(config, monitor)
     return deployment, build_report(deployment)
