@@ -30,6 +30,7 @@ from repro.runtime.sweep import (
     select_median_overlay,
     overlay_median_rtt_ms,
     loss_grid,
+    fault_grid,
     SweepPoint,
     OverlayPoint,
 )
@@ -44,6 +45,18 @@ from repro.paxos.process import PaxosProcess, Communicator
 from repro.paxos.spaxos import SPaxosProcess, ValueRef
 from repro.raft.process import RaftProcess
 from repro.runtime.crashes import CrashSchedule, CrashController
+from repro.net.faults.events import (
+    FaultPlan,
+    Partition,
+    Heal,
+    LinkLoss,
+    BurstLoss,
+    ClearBurstLoss,
+    Degrade,
+    GrayFailure,
+    Crash,
+    RegionOutage,
+)
 from repro.sim.kernel import Simulator
 
 __all__ = [
@@ -58,6 +71,7 @@ __all__ = [
     "select_median_overlay",
     "overlay_median_rtt_ms",
     "loss_grid",
+    "fault_grid",
     "SweepPoint",
     "OverlayPoint",
     "PaxosSemantics",
@@ -76,5 +90,15 @@ __all__ = [
     "Communicator",
     "CrashSchedule",
     "CrashController",
+    "FaultPlan",
+    "Partition",
+    "Heal",
+    "LinkLoss",
+    "BurstLoss",
+    "ClearBurstLoss",
+    "Degrade",
+    "GrayFailure",
+    "Crash",
+    "RegionOutage",
     "Simulator",
 ]

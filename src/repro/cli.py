@@ -7,6 +7,9 @@ Exposes the experiment harness without writing Python:
 * ``sweep``       — a workload sweep with the saturation point marked.
 * ``overlays``    — the Fig. 7 overlay-ranking methodology.
 * ``reliability`` — the Fig. 6 loss x workload grid.
+* ``chaos``       — seeded fault scenarios with the safety monitor armed
+                    (see docs/faults.md); exits non-zero on a safety or
+                    liveness-after-heal failure.
 * ``check``       — determinism lint + Paxos safety invariant monitor
                     (see docs/static-analysis.md).
 
@@ -158,6 +161,52 @@ def cmd_reliability(args):
     return 0
 
 
+def cmd_chaos(args):
+    """Run seeded chaos scenarios; fail on any safety/liveness violation."""
+    from repro.net.faults.chaos import (
+        SCENARIOS,
+        chaos_config,
+        run_chaos_scenario,
+    )
+
+    names = list(SCENARIOS) if args.scenario == "all" else [args.scenario]
+    setups = SETUPS if args.setups == "all" else tuple(args.setups.split(","))
+    seeds = [int(s) for s in args.seeds.split(",")]
+    rows = []
+    failed = 0
+    for setup in setups:
+        config = chaos_config(
+            setup=setup, n=args.n, rate=args.rate, warmup=args.warmup,
+            duration=args.duration, drain=args.drain,
+        )
+        for name in names:
+            if not SCENARIOS[name].supports(setup):
+                rows.append([name, setup, "-", "skipped", "-", "-", "-", "-"])
+                continue
+            for seed in seeds:
+                result = run_chaos_scenario(name, config, seed=seed)
+                if not result.ok:
+                    failed += 1
+                messages = result.report.messages
+                rows.append([
+                    name, setup, seed,
+                    "ok" if result.ok else "FAIL",
+                    len(result.violations),
+                    len(result.missing),
+                    "{}/{}".format(result.report.decided,
+                                   result.report.submitted),
+                    messages.retransmissions,
+                ])
+    print(format_table(
+        ["scenario", "setup", "seed", "status", "violations",
+         "missing", "decided", "retransmits"],
+        rows, title="chaos: safety always, liveness after heal"))
+    if failed:
+        print("{} scenario run(s) FAILED".format(failed), file=sys.stderr)
+        return 1
+    return 0
+
+
 def build_parser():
     """Construct the argparse parser with all subcommands."""
     parser = argparse.ArgumentParser(
@@ -193,6 +242,19 @@ def build_parser():
     p.add_argument("--runs", type=int, default=2)
     _add_common(p)
     p.set_defaults(func=cmd_reliability)
+
+    p = sub.add_parser("chaos", help="seeded fault scenarios + safety monitor")
+    p.add_argument("--scenario", default="all",
+                   help='scenario name or "all" (see docs/faults.md)')
+    p.add_argument("--setups", default="all",
+                   help='comma-separated setups or "all"')
+    p.add_argument("--seeds", default="1", help="comma-separated seeds")
+    p.add_argument("--n", type=int, default=7)
+    p.add_argument("--rate", type=float, default=40.0)
+    p.add_argument("--warmup", type=float, default=0.5)
+    p.add_argument("--duration", type=float, default=1.5)
+    p.add_argument("--drain", type=float, default=3.0)
+    p.set_defaults(func=cmd_chaos)
 
     add_check_parser(sub)
 

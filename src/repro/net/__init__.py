@@ -16,7 +16,12 @@ from repro.net.message import Payload
 from repro.net.channel import DirectedLink, LinkConfig
 from repro.net.transport import Transport
 from repro.net.overlay import Overlay, generate_overlay
-from repro.net.faults import ReceiverLossInjector
+from repro.net.faults import (
+    FaultEngine,
+    FaultPlan,
+    GilbertElliottLossInjector,
+    ReceiverLossInjector,
+)
 
 __all__ = [
     "REGIONS",
@@ -30,5 +35,8 @@ __all__ = [
     "Transport",
     "Overlay",
     "generate_overlay",
+    "FaultEngine",
+    "FaultPlan",
+    "GilbertElliottLossInjector",
     "ReceiverLossInjector",
 ]

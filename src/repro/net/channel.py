@@ -60,6 +60,7 @@ class DirectedLink:
     __slots__ = (
         "sim", "src", "dst", "latency_s", "config", "stats",
         "_server", "_jitter_rng", "_deliver", "loss_hook",
+        "_base_latency_s", "_base_config", "_base_jitter_rng",
     )
 
     def __init__(self, sim, src, dst, latency_s, config, deliver, loss_hook=None):
@@ -83,6 +84,34 @@ class DirectedLink:
         self._jitter_rng = sim.rng("link-jitter") if config.jitter_s > 0 else None
         self._deliver = deliver
         self.loss_hook = loss_hook
+        # Pristine parameters, restored when a fault-induced degradation ends.
+        self._base_latency_s = latency_s
+        self._base_config = config
+        self._base_jitter_rng = self._jitter_rng
+
+    def degrade(self, latency_factor=1.0, extra_jitter_s=0.0, jitter_rng=None):
+        """Degrade propagation relative to the link's pristine parameters.
+
+        Multiplies the one-way latency by ``latency_factor`` and widens the
+        uniform jitter by ``extra_jitter_s`` (drawn from ``jitter_rng``).
+        Neutral arguments (factor 1, no extra jitter) restore the link.
+        Queued and in-flight messages are unaffected; only messages
+        serialised after the call see the new parameters.
+        """
+        base = self._base_config
+        self.latency_s = self._base_latency_s * latency_factor
+        if extra_jitter_s > 0:
+            self.config = LinkConfig(base.per_message_s, base.per_byte_s,
+                                     base.queue_capacity,
+                                     base.jitter_s + extra_jitter_s)
+            self._jitter_rng = jitter_rng
+        else:
+            self.config = base
+            self._jitter_rng = self._base_jitter_rng
+
+    def restore(self):
+        """Undo any degradation (see :meth:`degrade`)."""
+        self.degrade()
 
     @property
     def busy(self):

@@ -1,0 +1,56 @@
+"""Fault injection: loss models, typed fault events, and the fault engine.
+
+Grown from the single receiver-loss injector of the paper's §4.5 study
+into a declarative fault-scenario engine:
+
+* :mod:`repro.net.faults.loss` — ``loss_hook`` implementations: the
+  paper's uniform :class:`ReceiverLossInjector` and the correlated
+  :class:`GilbertElliottLossInjector` burst model;
+* :mod:`repro.net.faults.events` — typed fault events (partitions, per-link
+  loss, bursts, degradation, gray failures, crashes, region outages) and
+  the :class:`FaultPlan` timeline;
+* :mod:`repro.net.faults.engine` — the :class:`FaultEngine` applying a
+  plan to a live deployment;
+* :mod:`repro.net.faults.chaos` — seeded chaos scenarios and the
+  safety/liveness harness behind ``repro chaos`` (imported separately:
+  ``from repro.net.faults import chaos`` — it pulls in the runtime).
+
+See docs/faults.md for the fault model and determinism guarantees.
+"""
+
+from repro.net.faults.engine import FaultEngine, FaultStats
+from repro.net.faults.events import (
+    BurstLoss,
+    ClearBurstLoss,
+    Crash,
+    Degrade,
+    FaultEvent,
+    FaultPlan,
+    GrayFailure,
+    Heal,
+    LinkLoss,
+    Partition,
+    RegionOutage,
+)
+from repro.net.faults.loss import (
+    GilbertElliottLossInjector,
+    ReceiverLossInjector,
+)
+
+__all__ = [
+    "BurstLoss",
+    "ClearBurstLoss",
+    "Crash",
+    "Degrade",
+    "FaultEngine",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultStats",
+    "GilbertElliottLossInjector",
+    "GrayFailure",
+    "Heal",
+    "LinkLoss",
+    "Partition",
+    "ReceiverLossInjector",
+    "RegionOutage",
+]

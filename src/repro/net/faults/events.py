@@ -1,0 +1,317 @@
+"""Typed fault events and the declarative :class:`FaultPlan`.
+
+A fault plan is a timeline of ``(at, event)`` entries applied to a running
+deployment by the :class:`repro.net.faults.engine.FaultEngine`. Events are
+plain declarative objects — they carry parameters and validate themselves
+against a system size, but all mechanics (hook wiring, link mutation,
+crash scheduling) live in the engine, so plans can be built, validated and
+compared without a simulator.
+
+Event catalogue (the WAN failure modes of ISSUE §4.5 and beyond):
+
+* :class:`Partition` / :class:`Heal` — split the process set into groups;
+  every message crossing group boundaries is dropped until the heal.
+* :class:`LinkLoss` — asymmetric per-link probabilistic loss (one
+  direction of one channel).
+* :class:`BurstLoss` / :class:`ClearBurstLoss` — correlated loss bursts on
+  every link via per-link Gilbert–Elliott chains.
+* :class:`Degrade` — latency multiplier and/or added jitter on the links
+  between a region pair; ``Degrade(..., latency_factor=1, extra_jitter_s=0)``
+  restores them.
+* :class:`GrayFailure` — a process's CPU slows by a factor: alive, never
+  suspected, but late (``factor=1`` recovers it).
+* :class:`Crash` / :class:`RegionOutage` — full-process outages through the
+  :class:`repro.runtime.crashes.CrashController`, for one process or every
+  process hosted in a region.
+"""
+
+from repro.net import regions as _regions
+
+
+def _check_probability(name, value):
+    if not 0.0 <= value <= 1.0:
+        raise ValueError("{} must be within [0, 1]".format(name))
+
+
+def _check_process(name, value, n):
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise ValueError("{} must be an int process id, got {!r}".format(
+            name, value))
+    if not 0 <= value < n:
+        raise ValueError("{} {} out of range for n={}".format(name, value, n))
+
+
+class FaultEvent:
+    """Base class: a declarative fault, applied by the engine."""
+
+    #: Stable identifier used in metrics attribution and reports.
+    kind = "fault"
+
+    def apply(self, engine):
+        """Apply this event to a :class:`FaultEngine` (at its ``at`` time)."""
+        raise NotImplementedError
+
+    def validate(self, n):
+        """Check parameters against system size ``n``; raises ValueError."""
+
+    def describe(self):
+        """Short human-readable parameter summary."""
+        return self.kind
+
+    def __repr__(self):
+        return "{}({})".format(type(self).__name__, self.describe())
+
+
+class Partition(FaultEvent):
+    """Split the processes into groups; cross-group links drop everything.
+
+    ``groups`` is a sequence of disjoint process-id groups. Processes not
+    named in any group form one implicit remainder group together. A new
+    partition replaces any partition currently in force.
+    """
+
+    kind = "partition"
+
+    def __init__(self, groups):
+        self.groups = tuple(tuple(group) for group in groups)
+        if not self.groups:
+            raise ValueError("a partition needs at least one group")
+
+    def validate(self, n):
+        seen = set()
+        for group in self.groups:
+            for pid in group:
+                _check_process("partition member", pid, n)
+                if pid in seen:
+                    raise ValueError(
+                        "process {} appears in two partition groups".format(pid))
+                seen.add(pid)
+
+    def apply(self, engine):
+        engine.partition(self.groups)
+
+    def describe(self):
+        return "groups={}".format(self.groups)
+
+
+class Heal(FaultEvent):
+    """Remove the partition currently in force (no-op when none is)."""
+
+    kind = "heal"
+
+    def apply(self, engine):
+        engine.heal()
+
+
+class LinkLoss(FaultEvent):
+    """Asymmetric probabilistic loss on one directed link; rate 0 clears."""
+
+    kind = "link-loss"
+
+    def __init__(self, src, dst, rate):
+        _check_probability("rate", rate)
+        self.src = src
+        self.dst = dst
+        self.rate = rate
+
+    def validate(self, n):
+        _check_process("src", self.src, n)
+        _check_process("dst", self.dst, n)
+        if self.src == self.dst:
+            raise ValueError("a link needs two distinct endpoints")
+
+    def apply(self, engine):
+        engine.set_link_loss(self.src, self.dst, self.rate)
+
+    def describe(self):
+        return "{}->{} rate={}".format(self.src, self.dst, self.rate)
+
+
+class BurstLoss(FaultEvent):
+    """Arm Gilbert–Elliott burst loss on every link (see faults.loss)."""
+
+    kind = "burst-loss"
+
+    def __init__(self, p_enter=0.02, p_exit=0.2, loss_bad=0.3, loss_good=0.0):
+        for name, value in (("p_enter", p_enter), ("p_exit", p_exit),
+                            ("loss_bad", loss_bad), ("loss_good", loss_good)):
+            _check_probability(name, value)
+        self.p_enter = p_enter
+        self.p_exit = p_exit
+        self.loss_bad = loss_bad
+        self.loss_good = loss_good
+
+    def apply(self, engine):
+        engine.set_burst(self.p_enter, self.p_exit,
+                         self.loss_bad, self.loss_good)
+
+    def describe(self):
+        return "p_enter={} p_exit={} loss_bad={}".format(
+            self.p_enter, self.p_exit, self.loss_bad)
+
+
+class ClearBurstLoss(FaultEvent):
+    """Disarm burst loss installed by :class:`BurstLoss`."""
+
+    kind = "clear-burst-loss"
+
+    def apply(self, engine):
+        engine.clear_burst()
+
+
+class Degrade(FaultEvent):
+    """Degrade the links between two regions: slower, jittery propagation.
+
+    ``latency_factor`` multiplies the links' one-way latency;
+    ``extra_jitter_s`` adds uniform jitter on top of the link config's.
+    ``Degrade(a, b)`` with the default neutral parameters restores the
+    pair's links to their original behaviour.
+    """
+
+    kind = "degrade"
+
+    def __init__(self, region_a, region_b, latency_factor=1.0,
+                 extra_jitter_s=0.0):
+        if latency_factor <= 0:
+            raise ValueError("latency_factor must be positive")
+        if extra_jitter_s < 0:
+            raise ValueError("extra_jitter_s must be non-negative")
+        self.region_a = region_a
+        self.region_b = region_b
+        self.latency_factor = latency_factor
+        self.extra_jitter_s = extra_jitter_s
+
+    def validate(self, n):
+        num_regions = len(_regions.REGIONS)
+        for name, region in (("region_a", self.region_a),
+                             ("region_b", self.region_b)):
+            if not isinstance(region, int) or not 0 <= region < num_regions:
+                raise ValueError("{} {!r} is not a region index (< {})".format(
+                    name, region, num_regions))
+
+    def apply(self, engine):
+        engine.degrade(self.region_a, self.region_b,
+                       self.latency_factor, self.extra_jitter_s)
+
+    def describe(self):
+        return "regions=({},{}) x{} +{}s jitter".format(
+            self.region_a, self.region_b, self.latency_factor,
+            self.extra_jitter_s)
+
+
+class GrayFailure(FaultEvent):
+    """Slow a process's CPU by ``factor``: alive but late; 1.0 recovers."""
+
+    kind = "gray"
+
+    def __init__(self, process_id, factor):
+        if factor < 1.0:
+            raise ValueError("a gray failure slows a process: factor >= 1")
+        self.process_id = process_id
+        self.factor = factor
+
+    def validate(self, n):
+        _check_process("process_id", self.process_id, n)
+
+    def apply(self, engine):
+        engine.set_gray(self.process_id, self.factor)
+
+    def describe(self):
+        return "process={} x{}".format(self.process_id, self.factor)
+
+
+class Crash(FaultEvent):
+    """Crash one process; recovers after ``duration`` seconds if given."""
+
+    kind = "crash"
+
+    def __init__(self, process_id, duration=None):
+        if duration is not None and duration <= 0:
+            raise ValueError("crash duration must be positive")
+        self.process_id = process_id
+        self.duration = duration
+
+    def validate(self, n):
+        _check_process("process_id", self.process_id, n)
+
+    def apply(self, engine):
+        engine.crash(self.process_id, self.duration)
+
+    def describe(self):
+        return "process={} duration={}".format(self.process_id, self.duration)
+
+
+class RegionOutage(FaultEvent):
+    """Crash every process in a region; recover after ``duration`` if given."""
+
+    kind = "region-outage"
+
+    def __init__(self, region, duration=None):
+        if duration is not None and duration <= 0:
+            raise ValueError("outage duration must be positive")
+        self.region = region
+        self.duration = duration
+
+    def validate(self, n):
+        num_regions = len(_regions.REGIONS)
+        if not isinstance(self.region, int) or not 0 <= self.region < num_regions:
+            raise ValueError("region {!r} is not a region index (< {})".format(
+                self.region, num_regions))
+
+    def apply(self, engine):
+        engine.region_outage(self.region, self.duration)
+
+    def describe(self):
+        return "region={} duration={}".format(self.region, self.duration)
+
+
+class FaultPlan:
+    """An ordered timeline of ``(at, event)`` entries.
+
+    Accepts any iterable of ``(at, FaultEvent)`` pairs (or another
+    FaultPlan) and keeps them sorted by time; ties preserve entry order,
+    so e.g. a ``Heal`` listed after a ``Partition`` at the same instant
+    applies after it.
+    """
+
+    __slots__ = ("entries",)
+
+    def __init__(self, entries=()):
+        if isinstance(entries, FaultPlan):
+            entries = entries.entries
+        normalized = []
+        for entry in entries:
+            try:
+                at, event = entry
+            except (TypeError, ValueError):
+                raise ValueError(
+                    "fault plan entries are (at, event) pairs; got {!r}".format(
+                        entry))
+            if not isinstance(event, FaultEvent):
+                raise ValueError(
+                    "fault plan event must be a FaultEvent, got {!r}".format(
+                        event))
+            at = float(at)
+            if at < 0:
+                raise ValueError("fault time must be non-negative")
+            normalized.append((at, event))
+        normalized.sort(key=lambda entry: entry[0])
+        self.entries = tuple(normalized)
+
+    def validate(self, n):
+        """Validate every event against system size ``n``; returns self."""
+        for _, event in self.entries:
+            event.validate(n)
+        return self
+
+    def __iter__(self):
+        return iter(self.entries)
+
+    def __len__(self):
+        return len(self.entries)
+
+    def __bool__(self):
+        return bool(self.entries)
+
+    def __repr__(self):
+        return "FaultPlan({} events)".format(len(self.entries))

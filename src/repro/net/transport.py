@@ -45,6 +45,10 @@ class Transport:
         """The outgoing link towards ``dst`` (KeyError if not connected)."""
         return self._links[dst]
 
+    def links(self):
+        """All outgoing links owned by this transport."""
+        return list(self._links.values())
+
     def send(self, dst, payload, on_wire=None):
         """Transmit a payload to a directly connected process."""
         return self._links[dst].transmit(payload, on_wire)

@@ -17,6 +17,7 @@ from repro.runtime.sweep import (
     find_saturation_point,
     overlay_sweep,
     loss_grid,
+    fault_grid,
 )
 
 __all__ = [
@@ -31,4 +32,5 @@ __all__ = [
     "find_saturation_point",
     "overlay_sweep",
     "loss_grid",
+    "fault_grid",
 ]

@@ -12,6 +12,7 @@ from typing import Optional
 
 from repro.gossip.node import GossipCosts
 from repro.net.channel import LinkConfig
+from repro.net.faults.events import FaultPlan
 
 #: The paper's three setups (§4.1).
 SETUPS = ("baseline", "gossip", "semantic")
@@ -50,6 +51,10 @@ class ExperimentConfig:
     #: Coordinator failover: silence (seconds x rank) before a backup takes
     #: over with a fresh round. None (paper's setting) disables failover.
     failover_timeout: Optional[float] = None
+    #: Declarative fault timeline: a FaultPlan or an iterable of
+    #: (at, FaultEvent) entries, applied by the fault engine (docs/faults.md).
+    #: Composes with loss_rate / crashes / retransmit / failover.
+    faults: tuple = ()
 
     # -- semantics (paper §3.2; toggles for the ablation study) -----------------
     enable_filtering: bool = True
@@ -104,6 +109,31 @@ class ExperimentConfig:
                     "failover needs broadcast communication; the Baseline "
                     "star dies with its hub"
                 )
+        self._validate_crashes()
+        # Normalizing rejects malformed timelines (bad entry shapes, events
+        # referencing unknown processes/regions) at config time.
+        FaultPlan(self.faults).validate(self.n)
+
+    def _validate_crashes(self):
+        """Reject malformed crash tuples before they reach the runtime."""
+        from repro.runtime.crashes import CrashSchedule
+
+        for entry in self.crashes:
+            if not isinstance(entry, (tuple, list)) or len(entry) not in (2, 3):
+                raise ValueError(
+                    "crash entries are (process_id, crash_at[, recover_at]) "
+                    "tuples; got {!r}".format(entry))
+            process_id, crash_at = entry[0], entry[1]
+            if (not isinstance(process_id, int) or isinstance(process_id, bool)
+                    or not 0 <= process_id < self.n):
+                raise ValueError(
+                    "crash process id {!r} out of range for n={}".format(
+                        process_id, self.n))
+            if crash_at < 0:
+                raise ValueError(
+                    "crash_at must be non-negative, got {!r}".format(crash_at))
+            # Reuses CrashSchedule's recover_at > crash_at check.
+            CrashSchedule(*entry)
 
     @property
     def effective_k(self):
@@ -118,6 +148,12 @@ class ExperimentConfig:
         if self.overlay_seed is not None:
             return self.overlay_seed
         return self.seed
+
+    @property
+    def fault_plan(self):
+        """The normalized :class:`FaultPlan`, or None when no faults are set."""
+        plan = FaultPlan(self.faults)
+        return plan if plan else None
 
     @property
     def effective_num_clients(self):

@@ -52,6 +52,15 @@ class CrashController:
     def is_crashed(self, process_id):
         return process_id in self.crashed
 
+    def crash(self, process_id):
+        """Crash a process now (idempotent). Used by the fault engine for
+        unscheduled outages (Crash / RegionOutage events)."""
+        self._crash(process_id)
+
+    def recover(self, process_id):
+        """Recover a crashed process now (no-op when it is not crashed)."""
+        self._recover(process_id)
+
     def _crash(self, process_id):
         if process_id in self.crashed:
             return

@@ -18,7 +18,8 @@ from repro.gossip.cache import RecentlySeenCache
 from repro.gossip.node import GossipNode
 from repro.gossip.strategies import PullGossipNode, PushPullGossipNode
 from repro.net.channel import DirectedLink
-from repro.net.faults import ReceiverLossInjector
+from repro.net.faults.engine import FaultEngine
+from repro.net.faults.loss import ReceiverLossInjector
 from repro.net.overlay import generate_overlay
 from repro.net.topology import Topology
 from repro.net.transport import Transport
@@ -39,7 +40,7 @@ class Deployment:
 
     def __init__(self, config, sim, topology, overlay, transports, nodes,
                  processes, clients, collector, loss_injector,
-                 crash_controller=None):
+                 crash_controller=None, fault_engine=None):
         self.config = config
         self.sim = sim
         self.topology = topology
@@ -51,6 +52,7 @@ class Deployment:
         self.collector = collector
         self.loss_injector = loss_injector
         self.crash_controller = crash_controller
+        self.fault_engine = fault_engine
 
     def start(self):
         """Schedule startup: every process at t=0 (the coordinator runs
@@ -65,6 +67,8 @@ class Deployment:
             client.start()
         if self.crash_controller is not None:
             self.crash_controller.install()
+        if self.fault_engine is not None:
+            self.fault_engine.install()
 
     def run(self):
         """Run the simulation to the end of the configured horizon."""
@@ -193,14 +197,22 @@ def build_deployment(config):
         process.on_deliver = _make_notifier(sim, lan, client)
         clients.append(client)
 
+    fault_plan = config.fault_plan
     crash_controller = None
-    if config.crashes:
+    if config.crashes or fault_plan is not None:
+        # The fault engine routes Crash/RegionOutage events through the
+        # controller, so it exists whenever a fault plan does.
         schedules = [CrashSchedule(*entry) for entry in config.crashes]
         crash_controller = CrashController(sim, nodes, processes, schedules)
 
+    fault_engine = None
+    if fault_plan is not None:
+        fault_engine = FaultEngine(sim, topology, transports, nodes,
+                                   crash_controller, fault_plan)
+
     return Deployment(config, sim, topology, overlay, transports, nodes,
                       processes, clients, collector, loss_injector,
-                      crash_controller)
+                      crash_controller, fault_engine)
 
 
 def _make_notifier(sim, lan_delay_s, client):

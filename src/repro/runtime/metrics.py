@@ -41,6 +41,11 @@ class MetricsCollector:
         """All per-value records collected so far."""
         return self._records.values()
 
+    def items(self):
+        """(value_id, record) pairs — for checks that need the value ids
+        (e.g. the chaos harness's liveness gate)."""
+        return self._records.items()
+
 
 def mean(xs):
     """Arithmetic mean; 0.0 for empty input."""
@@ -84,8 +89,22 @@ class MessageStats:
         self.disaggregated = 0
         self.send_queue_drops = 0
         self.loss_injected = 0
+        self.loss_examined = 0             # arrivals the loss hook inspected
+        self.retransmissions = 0           # coordinator timeout re-issues
         self.cpu_utilization_mean = 0.0    # mean per-process CPU busy frac.
         self.cpu_utilization_max = 0.0     # the busiest process
+        # -- link-level aggregates (sum over every directed link) -----------
+        self.link_sent = 0
+        self.link_delivered = 0
+        self.link_dropped_queue = 0
+        self.link_dropped_loss = 0
+        self.link_bytes_sent = 0
+        # -- fault engine attribution (zero / empty without a fault plan) ---
+        self.fault_injections = {}         # fault kind -> events applied
+        self.fault_partition_drops = 0
+        self.fault_link_loss_drops = 0
+        self.fault_burst_drops = 0
+        self.partition_windows = []        # [(started_at, healed_at|None)]
 
     @property
     def duplicate_fraction(self):
@@ -93,6 +112,13 @@ class MessageStats:
         if self.received_total == 0:
             return 0.0
         return self.duplicates / self.received_total
+
+    @property
+    def delivery_ratio(self):
+        """Fraction of wire transmissions that survived to delivery."""
+        if self.link_sent == 0:
+            return 1.0
+        return self.link_delivered / self.link_sent
 
 
 class MetricsReport:
@@ -219,6 +245,32 @@ def build_report(deployment):
         stats.cpu_utilization_max = max(utilizations)
     if deployment.loss_injector is not None:
         stats.loss_injected = deployment.loss_injector.dropped
+        stats.loss_examined = deployment.loss_injector.examined
+
+    # Link-level aggregates: every directed link appears in exactly one
+    # transport (its sender's), so summing over transports counts each once.
+    for transport in deployment.transports:
+        for link in transport.links():
+            link_stats = link.stats
+            stats.link_sent += link_stats.sent
+            stats.link_delivered += link_stats.delivered
+            stats.link_dropped_queue += link_stats.dropped_queue
+            stats.link_dropped_loss += link_stats.dropped_loss
+            stats.link_bytes_sent += link_stats.bytes_sent
+
+    for process in deployment.processes:
+        coordinator = getattr(process, "coordinator", None)
+        if coordinator is not None:
+            stats.retransmissions += coordinator.retransmissions
+
+    engine = getattr(deployment, "fault_engine", None)
+    if engine is not None:
+        fault = engine.stats
+        stats.fault_injections = dict(fault.injections)
+        stats.fault_partition_drops = fault.partition_drops
+        stats.fault_link_loss_drops = fault.link_loss_drops
+        stats.fault_burst_drops = fault.burst_drops
+        stats.partition_windows = fault.partition_windows()
 
     decided_by_majority = 0
     decided_by_message = 0

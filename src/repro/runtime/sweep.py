@@ -10,6 +10,8 @@
   (Figures 7 and 8).
 * :func:`loss_grid` — (workload x injected-loss) reliability grid with
   repeated seeded runs per cell (Figure 6).
+* :func:`fault_grid` — the Fig.-6-style companion over declarative fault
+  plans (docs/faults.md) instead of uniform loss rates.
 """
 
 from repro.net.overlay import generate_overlay
@@ -126,4 +128,30 @@ def loss_grid(base_config, loss_rates, rates, runs_per_cell=3):
                 report = run_experiment(config)
                 fractions.append(report.not_ordered_fraction)
             grid[(loss_rate, rate)] = mean(fractions)
+    return grid
+
+
+def fault_grid(base_config, plans, rates, runs_per_cell=3):
+    """Reliability grid over fault plans: Fig. 6 with structured faults.
+
+    ``plans`` maps a row label to either a fault plan (anything
+    ``ExperimentConfig.faults`` accepts) or a callable ``plan(config)``
+    deriving one from the cell's config — the callable form lets a plan
+    depend on the system size or workload window (e.g. "partition lasting
+    40% of the run"). Cells average ``runs_per_cell`` seeded runs, exactly
+    like :func:`loss_grid`; keys are ``(label, rate)``.
+    """
+    grid = {}
+    for label, plan in plans.items():
+        for rate in rates:
+            fractions = []
+            for run in range(runs_per_cell):
+                config = base_config.replace(
+                    rate=rate,
+                    seed=base_config.seed + 1000 * run,
+                )
+                resolved = plan(config) if callable(plan) else plan
+                report = run_experiment(config.replace(faults=resolved))
+                fractions.append(report.not_ordered_fraction)
+            grid[(label, rate)] = mean(fractions)
     return grid

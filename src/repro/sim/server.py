@@ -50,13 +50,18 @@ class FifoServer:
         ``on_drop`` callback (if any) is invoked with the job's callback.
     """
 
-    __slots__ = ("sim", "capacity", "on_drop", "stats", "_queue", "_busy")
+    __slots__ = ("sim", "capacity", "on_drop", "stats", "slowdown",
+                 "_queue", "_busy")
 
     def __init__(self, sim, capacity=None, on_drop=None):
         self.sim = sim
         self.capacity = capacity
         self.on_drop = on_drop
         self.stats = ServerStats()
+        #: Service-time multiplier (gray-failure injection): jobs submitted
+        #: while > 1 run that much slower. Queued jobs keep the factor in
+        #: force when they were submitted.
+        self.slowdown = 1.0
         self._queue = deque()
         self._busy = False
 
@@ -77,6 +82,8 @@ class FifoServer:
         """
         stats = self.stats
         stats.submitted += 1
+        if self.slowdown != 1.0:
+            service_time *= self.slowdown
         if not self._busy:
             self._start(service_time, fn, args)
             return True

@@ -1,8 +1,9 @@
-"""Tests for the receiver-side loss injector."""
+"""Tests for the loss injectors (uniform and Gilbert-Elliott burst)."""
 
 import pytest
 
-from repro.net.faults import ReceiverLossInjector
+from repro.net.faults import GilbertElliottLossInjector, ReceiverLossInjector
+from repro.sim.kernel import Simulator
 
 
 def test_zero_rate_never_drops(sim):
@@ -38,8 +39,69 @@ def test_per_process_override(sim):
 
 
 def test_deterministic_given_seed(sim):
-    from repro.sim.kernel import Simulator
-
     a = ReceiverLossInjector(Simulator(seed=3), 0.5)
     b = ReceiverLossInjector(Simulator(seed=3), 0.5)
     assert [a(1) for _ in range(50)] == [b(1) for _ in range(50)]
+
+
+# -- Gilbert-Elliott burst loss ------------------------------------------------
+
+
+def test_ge_never_entering_bad_state_never_drops(sim):
+    injector = GilbertElliottLossInjector(sim, p_enter=0.0, p_exit=0.5,
+                                          loss_bad=1.0)
+    assert not any(injector(1) for _ in range(1000))
+    assert injector.examined == 1000
+    assert injector.bursts_entered == 0
+
+
+def test_ge_good_state_loss_applies_outside_bursts(sim):
+    injector = GilbertElliottLossInjector(sim, p_enter=0.0, p_exit=1.0,
+                                          loss_bad=1.0, loss_good=1.0)
+    assert all(injector(1) for _ in range(100))
+
+
+def test_ge_permanent_bad_state_drops_at_bad_rate(sim):
+    injector = GilbertElliottLossInjector(sim, p_enter=1.0, p_exit=0.0,
+                                          loss_bad=1.0)
+    results = [injector(1) for _ in range(100)]
+    # First message is examined in the good state, then it's bad forever.
+    assert results[0] is False
+    assert all(results[1:])
+    assert injector.bursts_entered == 1
+
+
+def test_ge_losses_are_bursty(sim):
+    """Same long-run loss rate, but clumped: consecutive-drop pairs are
+    far more frequent than under independent uniform loss."""
+    injector = GilbertElliottLossInjector(sim, p_enter=0.02, p_exit=0.2,
+                                          loss_bad=0.9)
+    outcomes = [injector(1) for _ in range(40000)]
+    rate = sum(outcomes) / len(outcomes)
+    pairs = sum(1 for a, b in zip(outcomes, outcomes[1:]) if a and b)
+    pair_rate = pairs / (len(outcomes) - 1)
+    assert 0.0 < rate < 0.35
+    assert pair_rate > 2.0 * rate * rate  # independent loss: pair_rate ~ rate^2
+    assert injector.bursts_entered > 10
+
+
+def test_ge_deterministic_given_seed():
+    def trace(seed):
+        injector = GilbertElliottLossInjector(
+            Simulator(seed=seed), p_enter=0.05, p_exit=0.3, loss_bad=0.8)
+        return [injector(1) for _ in range(500)]
+
+    assert trace(9) == trace(9)
+    assert trace(9) != trace(10)
+
+
+def test_ge_invalid_probabilities_rejected(sim):
+    with pytest.raises(ValueError):
+        GilbertElliottLossInjector(sim, p_enter=1.5, p_exit=0.5, loss_bad=0.5)
+    with pytest.raises(ValueError):
+        GilbertElliottLossInjector(sim, p_enter=0.5, p_exit=-0.1, loss_bad=0.5)
+    with pytest.raises(ValueError):
+        GilbertElliottLossInjector(sim, p_enter=0.5, p_exit=0.5, loss_bad=2.0)
+    with pytest.raises(ValueError):
+        GilbertElliottLossInjector(sim, p_enter=0.5, p_exit=0.5, loss_bad=0.5,
+                                   loss_good=-0.2)

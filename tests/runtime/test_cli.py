@@ -71,3 +71,37 @@ def test_strategy_flag(capsys):
 def test_loss_and_retransmit_flags(capsys):
     assert main(_fast(["run", "--setup", "gossip", "--loss", "0.1",
                        "--retransmit", "0.4"])) == 0
+
+
+def _chaos(extra):
+    """Fast chaos flags: one small scenario run."""
+    return ["chaos"] + extra + ["--n", "7", "--rate", "30",
+                                "--duration", "1.0", "--warmup", "0.5",
+                                "--drain", "2.5"]
+
+
+def test_chaos_command_single_scenario(capsys):
+    assert main(_chaos(["--scenario", "partition-heal",
+                        "--setups", "gossip"])) == 0
+    out = capsys.readouterr().out
+    assert "partition-heal" in out
+    assert "ok" in out
+    assert "violations" in out
+
+
+def test_chaos_command_skips_unsupported_pairs(capsys):
+    assert main(_chaos(["--scenario", "coordinator-crash",
+                        "--setups", "baseline"])) == 0
+    assert "skipped" in capsys.readouterr().out
+
+
+def test_chaos_command_multiple_seeds(capsys):
+    assert main(_chaos(["--scenario", "gray-coordinator",
+                        "--setups", "gossip", "--seeds", "1,2"])) == 0
+    out = capsys.readouterr().out
+    assert out.count("gray-coordinator") == 2
+
+
+def test_chaos_command_rejects_unknown_scenario():
+    with pytest.raises(KeyError):
+        main(_chaos(["--scenario", "nonexistent", "--setups", "gossip"]))

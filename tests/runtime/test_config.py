@@ -71,3 +71,66 @@ def test_replace_overrides_selected_fields():
 def test_replace_validates():
     with pytest.raises(ValueError):
         ExperimentConfig().replace(setup="bogus")
+
+
+# -- crash-tuple validation ----------------------------------------------------
+
+
+def test_valid_crashes_accepted():
+    config = ExperimentConfig(n=7, crashes=((3, 1.0), (4, 1.0, 2.0)))
+    assert config.crashes == ((3, 1.0), (4, 1.0, 2.0))
+
+
+def test_crash_entry_shape_rejected():
+    with pytest.raises(ValueError):
+        ExperimentConfig(crashes=(3,))             # not a tuple entry
+    with pytest.raises(ValueError):
+        ExperimentConfig(crashes=((3,),))          # missing crash_at
+    with pytest.raises(ValueError):
+        ExperimentConfig(crashes=((3, 1.0, 2.0, 3.0),))
+
+
+def test_crash_unknown_process_rejected():
+    with pytest.raises(ValueError):
+        ExperimentConfig(n=7, crashes=((7, 1.0),))
+    with pytest.raises(ValueError):
+        ExperimentConfig(n=7, crashes=((-1, 1.0),))
+    with pytest.raises(ValueError):
+        ExperimentConfig(n=7, crashes=((True, 1.0),))
+
+
+def test_crash_bad_times_rejected():
+    with pytest.raises(ValueError):
+        ExperimentConfig(crashes=((3, -1.0),))
+    with pytest.raises(ValueError):
+        ExperimentConfig(crashes=((3, 2.0, 2.0),))  # recover_at <= crash_at
+
+
+# -- fault-plan validation -----------------------------------------------------
+
+
+def test_faults_accept_plan_and_raw_entries():
+    from repro.net.faults.events import FaultPlan, Heal, Partition
+
+    entries = ((1.0, Partition([[0, 1]])), (2.0, Heal()))
+    assert len(ExperimentConfig(faults=entries).fault_plan) == 2
+    assert len(ExperimentConfig(faults=FaultPlan(entries)).fault_plan) == 2
+
+
+def test_fault_plan_none_when_empty():
+    assert ExperimentConfig().fault_plan is None
+
+
+def test_faults_validated_against_system_size():
+    from repro.net.faults.events import Crash
+
+    ExperimentConfig(n=13, faults=((1.0, Crash(9)),))
+    with pytest.raises(ValueError):
+        ExperimentConfig(n=7, faults=((1.0, Crash(9)),))
+
+
+def test_faults_reject_malformed_entries():
+    with pytest.raises(ValueError):
+        ExperimentConfig(faults=("partition",))
+    with pytest.raises(ValueError):
+        ExperimentConfig(faults=((1.0, "partition"),))

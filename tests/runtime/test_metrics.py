@@ -3,6 +3,7 @@
 import pytest
 
 from repro.runtime.metrics import (
+    MessageStats,
     MetricsCollector,
     mean,
     percentile,
@@ -69,3 +70,59 @@ def test_undecided_record_has_none():
     collector.record_submit("v1", 0, 1.0)
     (record,) = collector.records()
     assert record.decided_at is None
+
+
+def test_collector_items_exposes_value_ids():
+    collector = MetricsCollector()
+    collector.record_submit("v1", 0, 1.0)
+    ((value_id, record),) = collector.items()
+    assert value_id == "v1"
+    assert record.client_id == 0
+
+
+def test_message_stats_fault_fields_default_empty():
+    stats = MessageStats()
+    assert stats.loss_examined == 0
+    assert stats.retransmissions == 0
+    assert stats.fault_injections == {}
+    assert stats.fault_partition_drops == 0
+    assert stats.fault_link_loss_drops == 0
+    assert stats.fault_burst_drops == 0
+    assert stats.partition_windows == []
+
+
+def test_delivery_ratio():
+    stats = MessageStats()
+    assert stats.delivery_ratio == 1.0        # no sends yet
+    stats.link_sent = 10
+    stats.link_delivered = 8
+    assert stats.delivery_ratio == pytest.approx(0.8)
+
+
+def test_report_surfaces_link_and_loss_aggregates():
+    from repro.runtime.runner import run_experiment
+    from tests.conftest import fast_config
+
+    report = run_experiment(fast_config(loss_rate=0.2,
+                                        retransmit_timeout=0.3))
+    messages = report.messages
+    assert messages.link_sent > 0
+    assert messages.link_delivered > 0
+    assert messages.link_dropped_loss > 0
+    assert messages.loss_injected == messages.link_dropped_loss
+    assert messages.loss_examined >= messages.loss_injected
+    assert messages.retransmissions > 0
+    assert 0.0 < messages.delivery_ratio < 1.0
+
+
+def test_report_link_aggregates_without_loss():
+    from repro.runtime.runner import run_experiment
+    from tests.conftest import fast_config
+
+    report = run_experiment(fast_config())
+    messages = report.messages
+    assert messages.link_dropped_loss == 0
+    assert messages.link_bytes_sent > 0
+    # In-flight messages at the run cutoff are sent but never delivered.
+    assert messages.link_delivered + messages.link_dropped_queue \
+        <= messages.link_sent

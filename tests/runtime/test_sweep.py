@@ -5,6 +5,7 @@ import pytest
 from repro.runtime.metrics import MetricsReport, MessageStats
 from repro.runtime.sweep import (
     SweepPoint,
+    fault_grid,
     find_saturation_point,
     loss_grid,
     overlay_median_rtt_ms,
@@ -98,3 +99,31 @@ def test_loss_grid_shape_and_reliability_trend():
     assert set(grid) == {(0.0, 40), (0.4, 40)}
     assert grid[(0.0, 40)] == 0.0
     assert grid[(0.4, 40)] > 0.0
+
+
+def test_fault_grid_static_and_callable_plans():
+    from repro.net.faults.events import FaultPlan, Heal, Partition
+
+    def mid_run_partition(config):
+        """Isolate a minority around the coordinator for 40% of the run."""
+        start = config.warmup + 0.2 * config.duration
+        heal = start + 0.4 * config.duration
+        return FaultPlan([(start, Partition([[0, 1, 2]])), (heal, Heal())])
+
+    grid = fault_grid(
+        fast_config(n=7, duration=0.8, drain=2.5, retransmit_timeout=0.25),
+        plans={"none": (), "partition": mid_run_partition},
+        rates=[40],
+        runs_per_cell=2,
+    )
+    assert set(grid) == {("none", 40), ("partition", 40)}
+    assert 0.0 <= grid[("none", 40)] <= grid[("partition", 40)] <= 1.0
+
+
+def test_fault_grid_matches_loss_grid_protocol():
+    """An empty plan reproduces loss_grid's zero-loss cell exactly."""
+    base = fast_config(n=7, duration=0.8, drain=2.5)
+    faulted = fault_grid(base, plans={"none": ()}, rates=[40],
+                         runs_per_cell=2)
+    lossy = loss_grid(base, loss_rates=[0.0], rates=[40], runs_per_cell=2)
+    assert faulted[("none", 40)] == lossy[(0.0, 40)]
