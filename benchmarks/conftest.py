@@ -10,6 +10,11 @@ Scale: the environment variable ``REPRO_BENCH_SCALE`` selects
 * ``quick`` (default) — reduced system sizes / instance counts; the whole
   suite runs in tens of minutes and preserves every qualitative shape;
 * ``paper`` — the paper's sizes (n up to 105, larger grids); hours.
+
+Parallelism: ``REPRO_BENCH_WORKERS`` sets the process-pool size used for
+the independent runs inside each figure (0, the default, means one
+worker per CPU; 1 forces the serial path). Results are identical at any
+worker count — see ``repro.runtime.parallel``.
 """
 
 import json
@@ -19,9 +24,11 @@ import pathlib
 import pytest
 
 from repro.runtime.config import ExperimentConfig
-from repro.runtime.sweep import workload_sweep
+from repro.runtime.parallel import run_experiments
+from repro.runtime.sweep import SweepPoint
 
 SCALE = os.environ.get("REPRO_BENCH_SCALE", "quick")
+WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "0"))
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 #: Figure 3 sweep definition per scale: {n: (rates, values per point)}.
@@ -139,17 +146,23 @@ def get_fig3_sweeps():
     """The Figure 3 workload sweeps (shared by Figs. 3-4 and §4.3).
 
     Computed once per pytest session; keyed (setup, n) -> list[SweepPoint].
+    All (setup, n, rate) cells are independent seeded runs, so the whole
+    plan is dispatched as one batch to the process-pool executor.
     """
     if _FIG3_CACHE:
         return _FIG3_CACHE
     plan = FIG3_PLAN[SCALE]
+    keys = []     # (setup, n, rate) per config, in deterministic order
+    configs = []
     for n, (rates, values_target) in plan.items():
         for setup in ("baseline", "gossip", "semantic"):
-            points = []
+            _FIG3_CACHE[(setup, n)] = []
             for rate in rates:
-                config = bench_config(setup, n, rate, values_target)
-                points.extend(workload_sweep(config, [rate]))
-            _FIG3_CACHE[(setup, n)] = points
+                keys.append((setup, n, rate))
+                configs.append(bench_config(setup, n, rate, values_target))
+    reports = run_experiments(configs, workers=WORKERS)
+    for (setup, n, rate), report in zip(keys, reports):
+        _FIG3_CACHE[(setup, n)].append(SweepPoint(rate, report))
     return _FIG3_CACHE
 
 

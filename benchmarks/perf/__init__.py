@@ -1,0 +1,9 @@
+"""Microbenchmarks of the simulator hot path.
+
+Unlike the figure benchmarks (which reproduce the paper's *values*), this
+package measures the harness *itself*: simulator events per wall-clock
+second and wall-clock per figure-style scenario, recorded into the
+committed ``BENCH_perf.json`` baseline so future changes have a
+trajectory to beat. ``test_perf_smoke.py`` gates events/sec at >= 0.8x
+the baseline; ``python -m benchmarks.perf --update`` regenerates it.
+"""

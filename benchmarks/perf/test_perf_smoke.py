@@ -1,0 +1,43 @@
+"""CI smoke gate: the simulator must stay within 0.8x of the committed
+events/sec baseline, and every scenario's event count must match it
+exactly (event counts are machine-independent, so a mismatch means the
+simulation itself changed — regenerate the baseline deliberately with
+``REPRO_PERF_UPDATE=1`` or ``python -m benchmarks.perf --update``).
+"""
+
+import os
+
+from benchmarks.perf import harness
+
+#: Fraction of baseline events/sec the smoke run must reach.
+TOLERANCE = float(os.environ.get("REPRO_PERF_TOLERANCE", "0.8"))
+REPEATS = int(os.environ.get("REPRO_PERF_REPEATS", "3"))
+
+
+def test_perf_smoke():
+    payload = harness.measure_all(repeats=REPEATS)
+    harness.write_latest(payload)
+
+    if os.environ.get("REPRO_PERF_UPDATE"):
+        path = harness.save_baseline(payload)
+        print("baseline regenerated at {}".format(path))
+        return
+
+    baseline = harness.load_baseline()
+    assert baseline is not None, (
+        "no committed baseline; generate one with REPRO_PERF_UPDATE=1")
+
+    for name, measured in payload["scenarios"].items():
+        expected = baseline["scenarios"].get(name)
+        assert expected is not None, (
+            "scenario {!r} missing from baseline — regenerate it".format(name))
+        assert measured["events"] == expected["events"], (
+            "scenario {!r} executed {} events, baseline has {}: the "
+            "simulation changed; regenerate the baseline if intentional"
+            .format(name, measured["events"], expected["events"]))
+        floor = TOLERANCE * expected["events_per_sec"]
+        assert measured["events_per_sec"] >= floor, (
+            "scenario {!r} ran at {} events/s, below {:.0f} "
+            "({}x baseline {})".format(
+                name, measured["events_per_sec"], floor,
+                TOLERANCE, expected["events_per_sec"]))

@@ -13,7 +13,13 @@ Shape assertions:
   compromise gossip's resilience).
 """
 
-from benchmarks.conftest import FIG6_PLAN, SCALE, bench_config, save_results
+from benchmarks.conftest import (
+    FIG6_PLAN,
+    SCALE,
+    WORKERS,
+    bench_config,
+    save_results,
+)
 from repro.analysis.tables import format_heatmap
 from repro.runtime.metrics import mean
 from repro.runtime.sweep import loss_grid
@@ -27,7 +33,8 @@ def run_fig6():
                             plan["values"], retransmit_timeout=None,
                             drain=4.0)
         grids[setup] = loss_grid(base, plan["loss_rates"], plan["rates"],
-                                 runs_per_cell=plan["runs"])
+                                 runs_per_cell=plan["runs"],
+                                 workers=WORKERS)
     return grids
 
 

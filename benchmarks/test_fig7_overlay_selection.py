@@ -12,7 +12,13 @@ Shape assertions:
   the top RTT half are slower on average than the bottom half.
 """
 
-from benchmarks.conftest import FIG78_PLAN, SCALE, bench_config, save_results
+from benchmarks.conftest import (
+    FIG78_PLAN,
+    SCALE,
+    WORKERS,
+    bench_config,
+    save_results,
+)
 from repro.analysis.tables import format_table
 from repro.runtime.metrics import mean
 from repro.runtime.sweep import overlay_sweep, select_median_overlay
@@ -22,7 +28,8 @@ def run_fig7():
     plan = FIG78_PLAN[SCALE]
     base = bench_config("gossip", plan["n"], plan["low_rate"],
                         plan["low_values"])
-    return overlay_sweep(base, overlay_seeds=range(plan["overlays"]))
+    return overlay_sweep(base, overlay_seeds=range(plan["overlays"]),
+                         workers=WORKERS)
 
 
 def test_fig7_overlay_selection(benchmark):

@@ -10,7 +10,13 @@ Shape assertion: Semantic Gossip improves latency on the large majority
 of overlays, and on average.
 """
 
-from benchmarks.conftest import FIG78_PLAN, SCALE, bench_config, save_results
+from benchmarks.conftest import (
+    FIG78_PLAN,
+    SCALE,
+    WORKERS,
+    bench_config,
+    save_results,
+)
 from repro.analysis.tables import format_table
 from repro.runtime.metrics import mean
 from repro.runtime.sweep import overlay_sweep
@@ -23,7 +29,8 @@ def run_fig8():
         base = bench_config(setup, plan["n"], plan["saturation_rate"],
                             plan["saturation_values"])
         results[setup] = overlay_sweep(base,
-                                       overlay_seeds=range(plan["overlays"]))
+                                       overlay_seeds=range(plan["overlays"]),
+                                       workers=WORKERS)
     return results
 
 

@@ -22,6 +22,7 @@ __version__ = "1.0.0"
 
 from repro.runtime.config import ExperimentConfig, SETUPS
 from repro.runtime.runner import run_experiment, run_deployment
+from repro.runtime.parallel import run_experiments, parallel_map
 from repro.runtime.metrics import MetricsReport
 from repro.runtime.sweep import (
     workload_sweep,
@@ -64,6 +65,8 @@ __all__ = [
     "SETUPS",
     "run_experiment",
     "run_deployment",
+    "run_experiments",
+    "parallel_map",
     "MetricsReport",
     "workload_sweep",
     "find_saturation_point",

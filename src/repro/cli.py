@@ -13,7 +13,12 @@ Exposes the experiment harness without writing Python:
 * ``check``       — determinism lint + Paxos safety invariant monitor
                     (see docs/static-analysis.md).
 
-All commands accept ``--seed`` and print deterministic results.
+All commands accept ``--seed`` and print deterministic results. Commands
+that execute several independent runs (``compare``, ``sweep``,
+``overlays``, ``reliability``, ``chaos``) accept ``--workers N`` and fan
+the runs out to a process pool (0, the default, means one worker per CPU;
+1 forces the serial path) — the printed values are identical at any
+worker count.
 """
 
 import argparse
@@ -22,6 +27,7 @@ import sys
 from repro.analysis.tables import format_heatmap, format_table
 from repro.checks.cli import add_check_parser
 from repro.runtime.config import SETUPS, ExperimentConfig
+from repro.runtime.parallel import parallel_map, run_experiments
 from repro.runtime.runner import run_experiment
 from repro.runtime.sweep import (
     find_saturation_point,
@@ -50,6 +56,13 @@ def _add_common(parser):
                         default="push", help="gossip dissemination strategy")
     parser.add_argument("--retransmit", type=float, default=None,
                         help="retransmission timeout (default: disabled)")
+    _add_workers(parser)
+
+
+def _add_workers(parser):
+    parser.add_argument("--workers", type=int, default=0,
+                        help="worker processes for independent runs "
+                             "(0 = one per CPU; 1 = serial)")
 
 
 def _config(args, setup, **overrides):
@@ -100,11 +113,11 @@ def cmd_run(args):
 
 
 def cmd_compare(args):
-    """Run the same workload across the three setups."""
-    rows = []
-    for setup in SETUPS:
-        report = run_experiment(_config(args, setup))
-        rows.append(_report_row(setup, report))
+    """Run the same workload across the three setups (in parallel)."""
+    reports = run_experiments([_config(args, setup) for setup in SETUPS],
+                              workers=args.workers)
+    rows = [_report_row(setup, report)
+            for setup, report in zip(SETUPS, reports)]
     print(format_table(_REPORT_HEADERS, rows,
                        title="{} / n={} @ {}/s".format(
                            args.protocol, args.n, args.rate)))
@@ -114,7 +127,8 @@ def cmd_compare(args):
 def cmd_sweep(args):
     """Workload sweep with the saturation point marked."""
     rates = [float(r) for r in args.rates.split(",")]
-    points = workload_sweep(_config(args, args.setup), rates)
+    points = workload_sweep(_config(args, args.setup), rates,
+                            workers=args.workers)
     knee = find_saturation_point(points)
     rows = []
     for index, point in enumerate(points):
@@ -132,7 +146,8 @@ def cmd_sweep(args):
 def cmd_overlays(args):
     """Rank random overlays by median coordinator RTT (Fig. 7)."""
     base = _config(args, "gossip")
-    points = overlay_sweep(base, overlay_seeds=range(args.count))
+    points = overlay_sweep(base, overlay_seeds=range(args.count),
+                           workers=args.workers)
     chosen = select_median_overlay(points)
     rows = []
     for point in sorted(points, key=lambda p: (p.median_rtt_ms,
@@ -154,7 +169,7 @@ def cmd_reliability(args):
     rates = [float(x) for x in args.rates.split(",")]
     for setup in ("gossip", "semantic"):
         grid = loss_grid(_config(args, setup), loss_rates, rates,
-                         runs_per_cell=args.runs)
+                         runs_per_cell=args.runs, workers=args.workers)
         print(format_heatmap(grid, row_keys=loss_rates, col_keys=rates,
                              row_label="loss", col_label="values/s"))
         print("^ {}: fraction of values not ordered\n".format(setup))
@@ -166,14 +181,17 @@ def cmd_chaos(args):
     from repro.net.faults.chaos import (
         SCENARIOS,
         chaos_config,
-        run_chaos_scenario,
+        run_scenario_task,
     )
 
     names = list(SCENARIOS) if args.scenario == "all" else [args.scenario]
     setups = SETUPS if args.setups == "all" else tuple(args.setups.split(","))
     seeds = [int(s) for s in args.seeds.split(",")]
-    rows = []
-    failed = 0
+    # Lay the table out first, then fan all runnable (scenario, setup,
+    # seed) triples out to the executor; the layout maps the ordered
+    # results back onto their rows.
+    tasks = []
+    layout = []   # row skeleton: ("skip", name, setup) | ("run", task index)
     for setup in setups:
         config = chaos_config(
             setup=setup, n=args.n, rate=args.rate, warmup=args.warmup,
@@ -181,22 +199,31 @@ def cmd_chaos(args):
         )
         for name in names:
             if not SCENARIOS[name].supports(setup):
-                rows.append([name, setup, "-", "skipped", "-", "-", "-", "-"])
+                layout.append(("skip", name, setup))
                 continue
             for seed in seeds:
-                result = run_chaos_scenario(name, config, seed=seed)
-                if not result.ok:
-                    failed += 1
-                messages = result.report.messages
-                rows.append([
-                    name, setup, seed,
-                    "ok" if result.ok else "FAIL",
-                    len(result.violations),
-                    len(result.missing),
-                    "{}/{}".format(result.report.decided,
-                                   result.report.submitted),
-                    messages.retransmissions,
-                ])
+                layout.append(("run", len(tasks)))
+                tasks.append((name, config, seed))
+    results = parallel_map(run_scenario_task, tasks, workers=args.workers)
+    rows = []
+    failed = 0
+    for entry in layout:
+        if entry[0] == "skip":
+            rows.append([entry[1], entry[2], "-", "skipped",
+                         "-", "-", "-", "-"])
+            continue
+        result = results[entry[1]]
+        if not result.ok:
+            failed += 1
+        rows.append([
+            result.scenario, result.setup, result.seed,
+            "ok" if result.ok else "FAIL",
+            len(result.violations),
+            len(result.missing),
+            "{}/{}".format(result.report.decided,
+                           result.report.submitted),
+            result.report.messages.retransmissions,
+        ])
     print(format_table(
         ["scenario", "setup", "seed", "status", "violations",
          "missing", "decided", "retransmits"],
@@ -254,6 +281,7 @@ def build_parser():
     p.add_argument("--warmup", type=float, default=0.5)
     p.add_argument("--duration", type=float, default=1.5)
     p.add_argument("--drain", type=float, default=3.0)
+    _add_workers(p)
     p.set_defaults(func=cmd_chaos)
 
     add_check_parser(sub)

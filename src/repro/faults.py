@@ -28,17 +28,20 @@ from repro.net.faults.chaos import (
     SCENARIOS,
     ChaosResult,
     ChaosSchedule,
+    ChaosSummary,
     Scenario,
     chaos_config,
     liveness_gaps,
     run_chaos_scenario,
     run_chaos_suite,
+    run_scenario_task,
 )
 
 __all__ = [
     "BurstLoss",
     "ChaosResult",
     "ChaosSchedule",
+    "ChaosSummary",
     "ClearBurstLoss",
     "Crash",
     "Degrade",
@@ -59,4 +62,5 @@ __all__ = [
     "liveness_gaps",
     "run_chaos_scenario",
     "run_chaos_suite",
+    "run_scenario_task",
 ]

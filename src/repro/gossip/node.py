@@ -97,9 +97,11 @@ class _PeerSender:
         """Prepare the next batch (validate + aggregate) and start sending."""
         node = self.node
         hooks = node.hooks
+        examined = 0   # messages run through validate/aggregate this pump
         while not self.pending:
             if not self.queue:
                 self.busy = False
+                self._charge_hooks(examined)
                 return
             batch = list(self.queue)
             self.queue.clear()
@@ -109,7 +111,9 @@ class _PeerSender:
                     kept.append(payload)
                 else:
                     node.stats.filtered += 1
+            examined += len(batch)
             if len(kept) > 1:
+                examined += len(kept)
                 before = len(kept)
                 kept = hooks.aggregate(kept, self.peer_id)
                 saved = before - len(kept)
@@ -120,7 +124,24 @@ class _PeerSender:
                     node.stats.aggregated_saved += saved
             self.pending.extend(kept)
         self.busy = True
+        self._charge_hooks(examined)
         self._send_next()
+
+    def _charge_hooks(self, examined):
+        """Charge ``hook_s`` CPU per message examined by validate/aggregate.
+
+        Only non-default hooks are charged: the no-op base implementation
+        models classic gossip, whose send path does no semantic work, and
+        charging it would skew the gossip-vs-semantic comparison. The
+        charge occupies the node's CPU server without delaying this batch
+        (the hook ran inline); queued CPU work behind it is what pays.
+        """
+        node = self.node
+        if examined == 0 or not node.hooks_charged:
+            return
+        service = examined * node.costs.hook_s
+        if service > 0.0:
+            node.cpu.submit(service, _noop)
 
     def _send_next(self):
         if not self.pending:
@@ -160,6 +181,14 @@ class GossipNode(Actor):
         self.cache = cache if cache is not None else RecentlySeenCache()
         self.deliver = deliver
         self.cpu = cpu or FifoServer(sim)
+        #: Whether hook CPU time (``costs.hook_s``) is charged on the send
+        #: path. Decided once against the hooks installed at construction,
+        #: so observational wrappers attached later (e.g. the safety
+        #: monitor's CheckedHooks) cannot perturb run timing.
+        self.hooks_charged = (
+            type(self.hooks).validate is not SemanticHooks.validate
+            or type(self.hooks).aggregate is not SemanticHooks.aggregate
+        )
         self.stats = GossipStats()
         self.alive = True
         self._senders = {}

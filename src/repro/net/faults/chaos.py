@@ -228,6 +228,62 @@ class ChaosResult:
             if fault is not None else None,
         )
 
+    def detach(self):
+        """A picklable :class:`ChaosSummary` of this result.
+
+        Drops the live deployment and monitor (neither crosses a process
+        boundary — they are webs of scheduled callbacks) while keeping
+        everything reporting aggregates over: the report, the recorded
+        violations, the liveness gaps and the precomputed fingerprint.
+        """
+        return ChaosSummary(
+            scenario=self.scenario, setup=self.setup, seed=self.seed,
+            config=self.config, report=self.report,
+            violations=list(self.violations), missing=list(self.missing),
+            fault_start=self.fault_start, heal_at=self.heal_at,
+            fingerprint=self.fingerprint(),
+        )
+
+
+class ChaosSummary:
+    """Deployment-free view of a :class:`ChaosResult`.
+
+    Mirrors the result's reporting surface (``ok``, ``violations``,
+    ``missing``, ``report``, ``fingerprint()``) but holds only picklable
+    state, so it can be produced worker-side by the parallel chaos suite
+    and shipped back whole. White-box fields (``deployment``, ``monitor``)
+    are deliberately absent: inspect those via a serial run.
+    """
+
+    __slots__ = ("scenario", "setup", "seed", "config", "report",
+                 "violations", "missing", "fault_start", "heal_at",
+                 "_fingerprint")
+
+    def __init__(self, scenario, setup, seed, config, report, violations,
+                 missing, fault_start, heal_at, fingerprint):
+        self.scenario = scenario
+        self.setup = setup
+        self.seed = seed
+        self.config = config
+        self.report = report
+        self.violations = violations
+        self.missing = missing
+        self.fault_start = fault_start
+        self.heal_at = heal_at
+        self._fingerprint = fingerprint
+
+    @property
+    def liveness_ok(self):
+        return not self.missing
+
+    @property
+    def ok(self):
+        return not self.violations and self.liveness_ok
+
+    def fingerprint(self):
+        """The digest computed by the worker that ran the scenario."""
+        return self._fingerprint
+
 
 def liveness_gaps(deployment, monitor, fault_start, heal_at,
                   excluded_clients=()):
@@ -282,20 +338,39 @@ def run_chaos_scenario(name, base_config=None, seed=1, strict=False):
     )
 
 
-def run_chaos_suite(base_config=None, names=None, seeds=(1,)):
+def run_scenario_task(task):
+    """Run one ``(name, config, seed)`` task and return a detached summary.
+
+    The worker body of the parallel chaos suite (and the CLI's
+    ``--workers`` path): top-level so the spawn start method can import
+    it, detached so the result pickles back to the parent.
+    """
+    name, config, seed = task
+    return run_chaos_scenario(name, config, seed=seed).detach()
+
+
+def run_chaos_suite(base_config=None, names=None, seeds=(1,), workers=1):
     """Run scenarios x seeds against one setup; skips unsupported pairs.
 
     Returns the list of :class:`ChaosResult` (unsupported combinations are
-    silently omitted — the CLI reports them as skipped).
+    silently omitted — the CLI reports them as skipped). With ``workers``
+    above 1 the runs execute on the process-pool executor and the list
+    holds :class:`ChaosSummary` objects instead — same order, same
+    reporting surface, identical fingerprints, but no live deployments.
     """
+    from repro.runtime.parallel import parallel_map, resolve_workers
+
     config = base_config if base_config is not None else chaos_config()
-    results = []
-    for name in (names if names is not None else list(SCENARIOS)):
-        if not SCENARIOS[name].supports(config.setup):
-            continue
-        for seed in seeds:
-            results.append(run_chaos_scenario(name, config, seed=seed))
-    return results
+    tasks = [
+        (name, config, seed)
+        for name in (names if names is not None else list(SCENARIOS))
+        if SCENARIOS[name].supports(config.setup)
+        for seed in seeds
+    ]
+    if resolve_workers(workers, len(tasks)) > 1:
+        return parallel_map(run_scenario_task, tasks, workers=workers)
+    return [run_chaos_scenario(name, task_config, seed=seed)
+            for name, task_config, seed in tasks]
 
 
 class ChaosSchedule:

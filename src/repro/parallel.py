@@ -1,0 +1,24 @@
+"""Top-level alias for the parallel experiment executor.
+
+The implementation lives under :mod:`repro.runtime.parallel` (it is
+experiment-runtime infrastructure); this module re-exports the public
+surface under the shorter ``repro.parallel`` name::
+
+    from repro.parallel import run_experiments, parallel_map
+
+    reports = run_experiments(configs, workers=4)
+"""
+
+from repro.runtime.parallel import (
+    default_workers,
+    parallel_map,
+    resolve_workers,
+    run_experiments,
+)
+
+__all__ = [
+    "default_workers",
+    "parallel_map",
+    "resolve_workers",
+    "run_experiments",
+]

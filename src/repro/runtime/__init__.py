@@ -12,6 +12,7 @@ from repro.runtime.deployment import Deployment, build_deployment
 from repro.runtime.client import Client
 from repro.runtime.metrics import MetricsReport
 from repro.runtime.runner import run_experiment
+from repro.runtime.parallel import run_experiments, parallel_map
 from repro.runtime.sweep import (
     workload_sweep,
     find_saturation_point,
@@ -28,6 +29,8 @@ __all__ = [
     "Client",
     "MetricsReport",
     "run_experiment",
+    "run_experiments",
+    "parallel_map",
     "workload_sweep",
     "find_saturation_point",
     "overlay_sweep",

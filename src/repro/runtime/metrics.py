@@ -262,6 +262,13 @@ def build_report(deployment):
         coordinator = getattr(process, "coordinator", None)
         if coordinator is not None:
             stats.retransmissions += coordinator.retransmissions
+        # Raft counts its re-floods (uncommitted re-issues + follower
+        # repair) on the process stats; Paxos ProcessStats has no such
+        # field, so this never double-counts the coordinator's.
+        process_stats = getattr(process, "stats", None)
+        if process_stats is not None:
+            stats.retransmissions += getattr(
+                process_stats, "retransmissions", 0)
 
     engine = getattr(deployment, "fault_engine", None)
     if engine is not None:

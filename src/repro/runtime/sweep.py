@@ -12,12 +12,21 @@
   repeated seeded runs per cell (Figure 6).
 * :func:`fault_grid` — the Fig.-6-style companion over declarative fault
   plans (docs/faults.md) instead of uniform loss rates.
+
+Every sweep runs *independent seeded experiments*, so all of them accept
+``workers=N`` and fan their runs out to the process-pool executor
+(:mod:`repro.runtime.parallel`). Each sweep first materialises its full
+run list — every grid cell and repetition — and dispatches it as one
+batch, so a 4x3 grid with 3 runs per cell exposes 36-way parallelism
+rather than parallelising one cell at a time. Results are identical at
+any worker count; the default ``workers=1`` preserves the historical
+serial behaviour exactly.
 """
 
 from repro.net.overlay import generate_overlay
 from repro.net.topology import Topology
 from repro.runtime.metrics import mean
-from repro.runtime.runner import run_experiment
+from repro.runtime.parallel import run_experiments
 from repro.sim.random import make_stream
 
 
@@ -39,13 +48,12 @@ class SweepPoint:
         return self.report.avg_latency_s
 
 
-def workload_sweep(base_config, rates):
+def workload_sweep(base_config, rates, workers=1):
     """Run ``base_config`` at each total submission rate; returns points."""
-    points = []
-    for rate in rates:
-        report = run_experiment(base_config.replace(rate=rate))
-        points.append(SweepPoint(rate, report))
-    return points
+    configs = [base_config.replace(rate=rate) for rate in rates]
+    reports = run_experiments(configs, workers=workers)
+    return [SweepPoint(rate, report)
+            for rate, report in zip(rates, reports)]
 
 
 def find_saturation_point(points):
@@ -90,12 +98,14 @@ def overlay_median_rtt_ms(config, overlay_seed):
     return overlay.median_coordinator_rtt_ms(topology, config.coordinator_id)
 
 
-def overlay_sweep(base_config, overlay_seeds):
+def overlay_sweep(base_config, overlay_seeds, workers=1):
     """Run the same workload over many random overlays (Figs. 7/8)."""
+    overlay_seeds = list(overlay_seeds)
+    configs = [base_config.replace(overlay_seed=overlay_seed)
+               for overlay_seed in overlay_seeds]
+    reports = run_experiments(configs, workers=workers)
     points = []
-    for overlay_seed in overlay_seeds:
-        config = base_config.replace(overlay_seed=overlay_seed)
-        report = run_experiment(config)
+    for overlay_seed, config, report in zip(overlay_seeds, configs, reports):
         median_rtt = overlay_median_rtt_ms(config, overlay_seed)
         points.append(OverlayPoint(overlay_seed, median_rtt, report))
     return points
@@ -108,50 +118,59 @@ def select_median_overlay(points):
     return ordered[len(ordered) // 2]
 
 
-def loss_grid(base_config, loss_rates, rates, runs_per_cell=3):
+def _collect_grid(cells, configs, runs_per_cell, workers):
+    """Run all cell configs as one batch; average each cell's fractions."""
+    reports = run_experiments(configs, workers=workers)
+    grid = {}
+    for index, cell in enumerate(cells):
+        cell_reports = reports[index * runs_per_cell:
+                               (index + 1) * runs_per_cell]
+        grid[cell] = mean([report.not_ordered_fraction
+                           for report in cell_reports])
+    return grid
+
+
+def loss_grid(base_config, loss_rates, rates, runs_per_cell=3, workers=1):
     """Reliability grid: fraction of values not ordered per cell (Fig. 6).
 
     Each cell is averaged over ``runs_per_cell`` runs with distinct seeds,
     as in the paper ("to minimize the effect of particularly favorable or
     unfavorable executions").
     """
-    grid = {}
-    for loss_rate in loss_rates:
-        for rate in rates:
-            fractions = []
-            for run in range(runs_per_cell):
-                config = base_config.replace(
-                    loss_rate=loss_rate,
-                    rate=rate,
-                    seed=base_config.seed + 1000 * run,
-                )
-                report = run_experiment(config)
-                fractions.append(report.not_ordered_fraction)
-            grid[(loss_rate, rate)] = mean(fractions)
-    return grid
+    cells = [(loss_rate, rate) for loss_rate in loss_rates for rate in rates]
+    configs = [
+        base_config.replace(
+            loss_rate=loss_rate,
+            rate=rate,
+            seed=base_config.seed + 1000 * run,
+        )
+        for loss_rate, rate in cells
+        for run in range(runs_per_cell)
+    ]
+    return _collect_grid(cells, configs, runs_per_cell, workers)
 
 
-def fault_grid(base_config, plans, rates, runs_per_cell=3):
+def fault_grid(base_config, plans, rates, runs_per_cell=3, workers=1):
     """Reliability grid over fault plans: Fig. 6 with structured faults.
 
     ``plans`` maps a row label to either a fault plan (anything
     ``ExperimentConfig.faults`` accepts) or a callable ``plan(config)``
     deriving one from the cell's config — the callable form lets a plan
     depend on the system size or workload window (e.g. "partition lasting
-    40% of the run"). Cells average ``runs_per_cell`` seeded runs, exactly
-    like :func:`loss_grid`; keys are ``(label, rate)``.
+    40% of the run"). Callable plans are resolved *before* dispatch, so
+    they never cross a process boundary and need not pickle. Cells
+    average ``runs_per_cell`` seeded runs, exactly like :func:`loss_grid`;
+    keys are ``(label, rate)``.
     """
-    grid = {}
-    for label, plan in plans.items():
-        for rate in rates:
-            fractions = []
-            for run in range(runs_per_cell):
-                config = base_config.replace(
-                    rate=rate,
-                    seed=base_config.seed + 1000 * run,
-                )
-                resolved = plan(config) if callable(plan) else plan
-                report = run_experiment(config.replace(faults=resolved))
-                fractions.append(report.not_ordered_fraction)
-            grid[(label, rate)] = mean(fractions)
-    return grid
+    cells = [(label, rate) for label in plans for rate in rates]
+    configs = []
+    for label, rate in cells:
+        plan = plans[label]
+        for run in range(runs_per_cell):
+            config = base_config.replace(
+                rate=rate,
+                seed=base_config.seed + 1000 * run,
+            )
+            resolved = plan(config) if callable(plan) else plan
+            configs.append(config.replace(faults=resolved))
+    return _collect_grid(cells, configs, runs_per_cell, workers)

@@ -7,7 +7,13 @@ deterministic without relying on heap tie-breaking behaviour.
 
 Cancellation is lazy: :meth:`Event.cancel` marks the event and the queue
 skips cancelled entries when popping. This is O(1) per cancellation and
-avoids the cost of re-heapifying.
+avoids the cost of re-heapifying. Lazy cancellation alone, however, lets
+cancelled shells pile up until their timestamp is reached — a retransmission
+timer cancelled on every ack, for instance, keeps one dead entry per ack in
+the heap, inflating every subsequent sift. The queue therefore *compacts*
+itself (drops all cancelled shells and re-heapifies) whenever the shells
+outnumber the live events and the heap is large enough for the rebuild to
+pay for itself; the O(n) rebuild is amortised O(1) per cancellation.
 """
 
 import heapq
@@ -48,6 +54,10 @@ class EventQueue:
 
     __slots__ = ("_heap", "_seq", "_live")
 
+    #: Minimum heap size before compaction is considered; below this the
+    #: lazy pops clean up cancelled shells cheaply enough on their own.
+    COMPACT_MIN_SIZE = 64
+
     def __init__(self):
         self._heap = []
         self._seq = 0
@@ -55,6 +65,11 @@ class EventQueue:
 
     def __len__(self):
         return self._live
+
+    @property
+    def heap_size(self):
+        """Physical heap entries, including not-yet-reclaimed shells."""
+        return len(self._heap)
 
     def push(self, time, fn, args):
         """Create and enqueue an event; returns its handle."""
@@ -64,13 +79,23 @@ class EventQueue:
         heapq.heappush(self._heap, event)
         return event
 
-    def pop(self):
-        """Remove and return the earliest non-cancelled event, or None."""
+    def pop(self, limit=None):
+        """Remove and return the earliest non-cancelled event, or None.
+
+        With ``limit``, an event later than ``limit`` is left queued and
+        None is returned — cancelled shells ahead of it are still
+        discarded. This lets the simulator loop advance with a single
+        heap operation per executed event instead of a peek-then-pop pair.
+        """
         heap = self._heap
         while heap:
-            event = heapq.heappop(heap)
+            event = heap[0]
             if event.cancelled:
+                heapq.heappop(heap)
                 continue
+            if limit is not None and event.time > limit:
+                return None
+            heapq.heappop(heap)
             self._live -= 1
             return event
         return None
@@ -85,3 +110,8 @@ class EventQueue:
     def note_cancelled(self):
         """Callers must invoke this once per cancelled live event."""
         self._live -= 1
+        heap = self._heap
+        shells = len(heap) - self._live
+        if shells > self._live and len(heap) >= self.COMPACT_MIN_SIZE:
+            self._heap = [event for event in heap if not event.cancelled]
+            heapq.heapify(self._heap)

@@ -85,17 +85,23 @@ class Simulator:
             while True:
                 if max_events is not None and executed >= max_events:
                     break
-                next_time = queue.peek_time()
-                if next_time is None:
+                # Single heap operation per executed event: pop(until)
+                # discards cancelled shells, leaves an event beyond
+                # `until` queued, and returns the next live event.
+                event = queue.pop(until)
+                if event is None:
                     if until is not None:
-                        self._now = max(self._now, until)
+                        # A live event beyond `until` pins the clock at
+                        # `until`; a drained queue never moves it back.
+                        self._now = until if queue else max(self._now, until)
                     break
-                if until is not None and next_time > until:
-                    self._now = until
-                    break
-                event = queue.pop()
                 self._now = event.time
                 fn, args = event.fn, event.args
+                # Retire the event before running it: a callback cancelling
+                # its own (already popped) event — e.g. a timer stopped from
+                # inside its firing — must not decrement the live count a
+                # second time or the queue's bookkeeping underflows.
+                event.cancel()
                 fn(*args)
                 executed += 1
         finally:

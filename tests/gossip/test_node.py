@@ -8,6 +8,7 @@ from repro.gossip.node import GossipCosts, GossipNode
 from repro.net.channel import DirectedLink, LinkConfig
 from repro.net.message import Payload, RawPayload
 from repro.net.transport import Transport
+from repro.sim.kernel import Simulator
 
 
 def build_mesh(sim, adjacency, hooks_factory=None, costs=None,
@@ -228,3 +229,54 @@ def test_cpu_serializes_processing(sim):
 def test_peers_listing(sim):
     nodes = build_mesh(sim, LINE)
     assert nodes[1].peers() == [0, 2]
+
+
+class _PassHooks(SemanticHooks):
+    """Semantic hooks that do semantic work (override) but keep everything."""
+
+    def validate(self, payload, peer_id):
+        return True
+
+
+def _run_broadcasts(hooks_factory, hook_s):
+    """Two-node mesh, three broadcasts from node 0; returns the nodes."""
+    sim = Simulator(seed=1)
+    costs = GossipCosts(recv_fresh_s=1e-6, recv_dup_s=1e-6,
+                        send_per_peer_s=1e-6, hook_s=hook_s)
+    nodes = build_mesh(sim, {0: [1], 1: [0]}, costs=costs,
+                       hooks_factory=hooks_factory)
+    for i in range(3):
+        nodes[0].broadcast(RawPayload("m{}".format(i), 10))
+    sim.run()
+    return nodes
+
+
+def test_hook_cpu_time_charged_for_custom_hooks():
+    """Regression: ``hook_s`` was accepted but never charged. Each message
+    examined by a non-default validate/aggregate must cost CPU time."""
+    free = _run_broadcasts(lambda i: _PassHooks(), 0.0)
+    paid = _run_broadcasts(lambda i: _PassHooks(), 0.01)
+    assert paid[0].hooks_charged
+    # Node 0's sender validated each of the three broadcasts once.
+    charged = (paid[0].cpu.stats.busy_time - free[0].cpu.stats.busy_time)
+    assert charged == pytest.approx(3 * 0.01)
+
+
+def test_noop_hooks_are_never_charged():
+    """The default no-op hooks model classic gossip: no semantic work on
+    the send path, so ``hook_s`` must not be charged."""
+    free = _run_broadcasts(None, 0.0)
+    paid = _run_broadcasts(None, 0.01)
+    assert not paid[0].hooks_charged
+    assert paid[0].cpu.stats.busy_time == free[0].cpu.stats.busy_time
+
+
+def test_hooks_charged_detects_aggregate_override():
+    class AggregateOnly(SemanticHooks):
+        def aggregate(self, payloads, peer_id):
+            return payloads
+
+    sim = Simulator(seed=1)
+    node = GossipNode(sim, 0, Transport(0), hooks=AggregateOnly())
+    assert node.hooks_charged
+    assert not GossipNode(sim, 1, Transport(1)).hooks_charged

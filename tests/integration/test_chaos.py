@@ -7,11 +7,14 @@ fault window decide; and repeated same-seed runs produce identical
 fingerprints (the determinism contract extends to the failure traces).
 """
 
+import pickle
+
 import pytest
 
 from repro.checks.monitor import SafetyMonitor
 from repro.net.faults.chaos import (
     SCENARIOS,
+    ChaosSummary,
     chaos_config,
     liveness_gaps,
     run_chaos_scenario,
@@ -65,6 +68,32 @@ def test_suite_skips_unsupported_pairs():
     assert "coordinator-crash" not in names
     assert names == set(SCENARIOS) - {"coordinator-crash"}
     assert all(result.ok for result in results)
+
+
+def test_parallel_suite_matches_serial_fingerprints():
+    """The chaos suite on the process pool returns detached summaries with
+    the same order, outcomes and fingerprints as the serial suite."""
+    names = ["partition-heal", "burst-loss"]
+    serial = run_chaos_suite(names=names, seeds=(3,), workers=1)
+    parallel = run_chaos_suite(names=names, seeds=(3,), workers=2)
+    assert all(isinstance(result, ChaosSummary) for result in parallel)
+    assert ([(r.scenario, r.setup, r.seed) for r in serial]
+            == [(r.scenario, r.setup, r.seed) for r in parallel])
+    assert ([r.fingerprint() for r in serial]
+            == [r.fingerprint() for r in parallel])
+    assert all(result.ok for result in parallel)
+
+
+def test_chaos_summary_pickles_and_mirrors_result():
+    result = run_chaos_scenario("burst-loss", seed=11)
+    summary = pickle.loads(pickle.dumps(result.detach()))
+    assert summary.scenario == result.scenario
+    assert summary.setup == result.setup
+    assert summary.seed == result.seed
+    assert summary.ok == result.ok
+    assert summary.violations == result.violations
+    assert summary.missing == result.missing
+    assert summary.fingerprint() == result.fingerprint()
 
 
 def test_coordinator_crash_mid_phase1_fails_over():

@@ -105,3 +105,29 @@ def test_chaos_command_multiple_seeds(capsys):
 def test_chaos_command_rejects_unknown_scenario():
     with pytest.raises(KeyError):
         main(_chaos(["--scenario", "nonexistent", "--setups", "gossip"]))
+
+
+def test_compare_workers_flag_output_identical(capsys):
+    """--workers must be invisible in the printed values."""
+    assert main(_fast(["compare", "--workers", "1"])) == 0
+    serial = capsys.readouterr().out
+    assert main(_fast(["compare", "--workers", "2"])) == 0
+    assert capsys.readouterr().out == serial
+
+
+def test_reliability_workers_flag_output_identical(capsys):
+    args = _fast(["reliability", "--losses", "0.0,0.3",
+                  "--rates", "30", "--runs", "1"])
+    assert main(args + ["--workers", "1"]) == 0
+    serial = capsys.readouterr().out
+    assert main(args + ["--workers", "4"]) == 0
+    assert capsys.readouterr().out == serial
+
+
+def test_chaos_workers_flag_output_identical(capsys):
+    args = _chaos(["--scenario", "partition-heal", "--setups", "gossip",
+                   "--seeds", "1,2"])
+    assert main(args + ["--workers", "1"]) == 0
+    serial = capsys.readouterr().out
+    assert main(args + ["--workers", "2"]) == 0
+    assert capsys.readouterr().out == serial

@@ -1,0 +1,135 @@
+"""Tests for the process-pool experiment executor."""
+
+import pytest
+
+from repro.checks.monitor import SafetyMonitor
+from repro.runtime.parallel import (
+    _picklable,
+    default_workers,
+    parallel_map,
+    resolve_workers,
+    run_experiments,
+)
+from repro.runtime.runner import run_experiment
+from tests.conftest import fast_config
+
+
+def _double(x):
+    """Top-level so it pickles into spawn workers."""
+    return 2 * x
+
+
+def report_fingerprint(report):
+    """Bitwise-comparable digest of a run's observable outcome."""
+    messages = report.messages
+    return (
+        tuple(report.latencies_s),
+        report.submitted,
+        report.decided,
+        messages.received_total,
+        messages.duplicates,
+        messages.delivered,
+        messages.link_sent,
+        messages.retransmissions,
+    )
+
+
+def _tiny_configs():
+    return [fast_config(n=5, rate=rate, duration=0.4, drain=1.0)
+            for rate in (20.0, 30.0, 40.0)]
+
+
+# -- worker resolution -----------------------------------------------------
+
+def test_default_workers_at_least_one():
+    assert default_workers() >= 1
+
+
+def test_resolve_workers_auto_selects_cpu_default():
+    assert resolve_workers(None, 8) == min(default_workers(), 8)
+    assert resolve_workers(0, 8) == resolve_workers(None, 8)
+
+
+def test_resolve_workers_capped_at_task_count():
+    assert resolve_workers(4, 2) == 2
+    assert resolve_workers(4, 0) == 1
+
+
+def test_resolve_workers_one_is_serial():
+    assert resolve_workers(1, 100) == 1
+
+
+def test_resolve_workers_rejects_negative():
+    with pytest.raises(ValueError):
+        resolve_workers(-1, 3)
+
+
+# -- parallel_map ----------------------------------------------------------
+
+def test_parallel_map_preserves_input_order():
+    items = list(range(8))
+    assert parallel_map(_double, items, workers=2) == [2 * i for i in items]
+
+
+def test_parallel_map_serial_path_matches():
+    items = [3, 1, 4, 1, 5]
+    assert parallel_map(_double, items, workers=1) == [6, 2, 8, 2, 10]
+
+
+def test_parallel_map_unpicklable_fn_falls_back_serially():
+    state = []
+    results = parallel_map(lambda x: state.append(x) or x, [1, 2, 3],
+                           workers=4)
+    assert results == [1, 2, 3]
+    # The closure ran in this process: the fallback really was serial.
+    assert state == [1, 2, 3]
+
+
+def test_picklable_probe():
+    assert _picklable((_double, [1, 2]))
+    assert not _picklable(lambda: None)
+
+
+# -- run_experiments -------------------------------------------------------
+
+def test_run_experiments_matches_serial_runs():
+    configs = _tiny_configs()
+    expected = [report_fingerprint(run_experiment(config))
+                for config in configs]
+    parallel = run_experiments(configs, workers=3)
+    assert [report_fingerprint(report) for report in parallel] == expected
+
+
+def test_run_experiments_workers_one_matches_parallel():
+    configs = _tiny_configs()
+    serial = run_experiments(configs, workers=1)
+    parallel = run_experiments(configs, workers=3)
+    assert ([report_fingerprint(r) for r in serial]
+            == [report_fingerprint(r) for r in parallel])
+
+
+def test_run_experiments_monitor_factory_arms_each_run():
+    configs = _tiny_configs()[:2]
+    reports = run_experiments(configs, workers=2,
+                              monitor_factory=SafetyMonitor)
+    assert [report_fingerprint(r) for r in reports] == [
+        report_fingerprint(run_experiment(config)) for config in configs
+    ]
+
+
+def test_run_experiments_unpicklable_monitor_falls_back_serially():
+    seen = []
+
+    def factory():
+        monitor = SafetyMonitor()
+        seen.append(monitor)
+        return monitor
+
+    configs = _tiny_configs()[:2]
+    reports = run_experiments(configs, workers=4, monitor_factory=factory)
+    assert len(reports) == 2
+    # The closure factory cannot pickle, so the runs happened in-process
+    # with the monitors genuinely attached and finalized.
+    assert len(seen) == 2
+    assert all(monitor.messages_observed > 0 for monitor in seen)
+    assert all(monitor.violations == [] for monitor in seen)

@@ -1,0 +1,69 @@
+"""Every sweep must produce identical results at workers=1 and workers=4.
+
+This is the executor's core contract (parallelism is invisible to
+results) exercised through each public sweep. Configurations are tiny:
+what matters is the value equality, not the workload realism.
+"""
+
+from repro.net.faults.events import FaultPlan, Heal, Partition
+from repro.runtime.sweep import (
+    fault_grid,
+    loss_grid,
+    overlay_sweep,
+    workload_sweep,
+)
+from tests.conftest import fast_config
+from tests.runtime.test_parallel import report_fingerprint
+
+
+def _base(**overrides):
+    defaults = dict(n=5, rate=30.0, duration=0.4, drain=1.0)
+    defaults.update(overrides)
+    return fast_config(**defaults)
+
+
+def test_workload_sweep_identical_across_worker_counts():
+    base = _base()
+    rates = [20.0, 30.0, 40.0]
+    serial = workload_sweep(base, rates, workers=1)
+    parallel = workload_sweep(base, rates, workers=4)
+    assert [p.rate for p in serial] == [p.rate for p in parallel]
+    assert ([report_fingerprint(p.report) for p in serial]
+            == [report_fingerprint(p.report) for p in parallel])
+
+
+def test_overlay_sweep_identical_across_worker_counts():
+    base = _base(setup="gossip")
+    seeds = [0, 1, 2]
+    serial = overlay_sweep(base, seeds, workers=1)
+    parallel = overlay_sweep(base, seeds, workers=4)
+    assert ([(p.overlay_seed, p.median_rtt_ms) for p in serial]
+            == [(p.overlay_seed, p.median_rtt_ms) for p in parallel])
+    assert ([report_fingerprint(p.report) for p in serial]
+            == [report_fingerprint(p.report) for p in parallel])
+
+
+def test_loss_grid_identical_across_worker_counts():
+    base = _base()
+    serial = loss_grid(base, [0.0, 0.3], [20.0, 40.0],
+                       runs_per_cell=2, workers=1)
+    parallel = loss_grid(base, [0.0, 0.3], [20.0, 40.0],
+                         runs_per_cell=2, workers=4)
+    assert serial == parallel
+
+
+def test_fault_grid_identical_across_worker_counts():
+    base = _base(retransmit_timeout=0.25)
+    plans = {
+        "none": FaultPlan(),
+        # Callable plan: resolved pre-dispatch, so it need not pickle.
+        "partition": lambda config: FaultPlan([
+            (config.warmup + 0.1, Partition([[0, 1]])),
+            (config.warmup + 0.25, Heal()),
+        ]),
+    }
+    serial = fault_grid(base, plans, [20.0, 40.0],
+                        runs_per_cell=2, workers=1)
+    parallel = fault_grid(base, plans, [20.0, 40.0],
+                          runs_per_cell=2, workers=4)
+    assert serial == parallel

@@ -70,6 +70,73 @@ def test_cancel_clears_references():
     assert event.args == ()
 
 
+def test_pop_with_limit_leaves_future_event_queued():
+    queue = EventQueue()
+    event = queue.push(5.0, "future", ())
+    assert queue.pop(2.0) is None
+    assert len(queue) == 1            # still queued, not consumed
+    assert queue.pop(5.0) is event
+
+
+def test_pop_with_limit_discards_cancelled_heads_first():
+    queue = EventQueue()
+    head = queue.push(1.0, "cancelled", ())
+    queue.push(5.0, "future", ())
+    head.cancel()
+    queue.note_cancelled()
+    # The cancelled head is before the limit but must not mask the live
+    # event's time: nothing to run by t=2 even though the heap head is
+    # at t=1.
+    assert queue.pop(2.0) is None
+    assert queue.heap_size == 1       # the shell was discarded in passing
+
+
+def _cancel(queue, event):
+    """Cancel through the queue's bookkeeping (as Simulator.cancel does)."""
+    event.cancel()
+    queue.note_cancelled()
+
+
+def test_compaction_reclaims_cancelled_shells():
+    queue = EventQueue()
+    events = [queue.push(float(i), "e", ()) for i in range(100)]
+    for event in events[:70]:
+        _cancel(queue, event)
+    assert len(queue) == 30
+    # Compaction fired once shells outnumbered live entries (at the 51st
+    # cancellation, rebuilding the heap to 49 live events); the heap no
+    # longer holds one shell per cancelled event.
+    assert queue.heap_size == 49
+
+
+def test_no_compaction_below_minimum_heap_size():
+    queue = EventQueue()
+    events = [queue.push(float(i), "e", ()) for i in range(40)]
+    for event in events[:30]:
+        _cancel(queue, event)
+    assert len(queue) == 10
+    # Under COMPACT_MIN_SIZE entries the shells are left for pop() to
+    # discard lazily — compaction would cost more than it saves.
+    assert queue.heap_size == 40
+
+
+def test_order_preserved_after_compaction():
+    queue = EventQueue()
+    events = [queue.push(float(i % 7), i, ()) for i in range(80)]
+    for event in events[::2]:
+        _cancel(queue, event)
+    survivors = []
+    while True:
+        event = queue.pop()
+        if event is None:
+            break
+        survivors.append(event)
+    assert [e.fn for e in survivors] == sorted(
+        (e.fn for e in survivors),
+        key=lambda i: (i % 7, i))
+    assert sorted(e.fn for e in survivors) == list(range(1, 80, 2))
+
+
 def test_event_ordering_dunder():
     a = Event(1.0, 0, None, ())
     b = Event(1.0, 1, None, ())

@@ -106,6 +106,34 @@ def test_events_scheduled_during_run_execute(sim):
     assert sim.now == 2.0
 
 
+def test_run_until_with_only_cancelled_future_events(sim):
+    event = sim.schedule(5.0, lambda: None)
+    sim.cancel(event)
+    sim.run(until=2.0)
+    assert sim.now == 2.0
+    assert sim.pending() == 0
+    # The next run must not rewind the clock over the drained queue.
+    sim.run(until=1.0)
+    assert sim.now == 2.0
+
+
+def test_callback_cancelling_its_own_event_is_safe(sim):
+    """A callback cancelling the very event that invoked it (e.g. a timer
+    stopped from inside its firing) must not corrupt the live count."""
+    seen = []
+    holder = {}
+
+    def fire():
+        sim.cancel(holder["event"])
+        seen.append(sim.now)
+
+    holder["event"] = sim.schedule(1.0, fire)
+    sim.schedule(2.0, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [1.0, 2.0]
+    assert sim.pending() == 0
+
+
 def test_rng_streams_are_deterministic():
     a = Simulator(seed=1).rng("jitter")
     b = Simulator(seed=1).rng("jitter")
