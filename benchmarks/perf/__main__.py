@@ -41,6 +41,8 @@ def main(argv=None):
         return 0 if result["identical"] else 1
 
     payload = harness.measure_all(repeats=args.repeats)
+    payload["legacy_comparison"] = harness.measure_legacy_comparison(
+        repeats=args.repeats)
     harness.write_latest(payload)
     if args.update:
         baseline = harness.load_baseline()
@@ -51,14 +53,21 @@ def main(argv=None):
 
     baseline = harness.load_baseline()
     for name, measured in sorted(payload["scenarios"].items()):
-        line = "{:<18} {:>9} events  {:>8.3f}s  {:>12,.0f} events/s".format(
-            name, measured["events"], measured["wall_s"],
-            measured["events_per_sec"])
+        line = ("{:<18} {:>9} events  {:>9} scheduled  {:>8.3f}s  "
+                "{:>12,.0f} events/s  {:>9.0f} KiB".format(
+                    name, measured["events"], measured["events_scheduled"],
+                    measured["wall_s"], measured["events_per_sec"],
+                    measured["peak_mem_kb"]))
         if baseline and name in baseline.get("scenarios", {}):
             ratio = (measured["events_per_sec"]
                      / baseline["scenarios"][name]["events_per_sec"])
             line += "  ({:+.0%} vs baseline)".format(ratio - 1.0)
         print(line)
+    comparison = payload["legacy_comparison"]
+    print("vs event-per-job servers: {:.1%} fewer scheduled events (fig3), "
+          "{}x wall-clock (fig8)".format(
+              comparison["fig3_events_scheduled_reduction"],
+              comparison["fig8_speedup"]))
     return 0
 
 

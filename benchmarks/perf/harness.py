@@ -1,145 +1,33 @@
-"""Measurement core for the simulator microbenchmarks.
+"""Benchmark-side glue for the simulator microbenchmarks.
 
-Each scenario is a small, fixed-seed experiment shaped like one of the
-paper's figures (workload sweep cell, lossy grid cell, overlay run, run
-at saturation). Because the simulator is deterministic, a scenario always
-executes exactly the same number of events; only the wall-clock varies
-with the machine and the hot-path implementation. We therefore record
+The scenarios and the measurement core live in :mod:`repro.perf` (shared
+with the ``repro perf`` CLI subcommand); this module keeps what is
+specific to the committed benchmark suite: the baseline file next to this
+file and the ``latest`` dump CI uploads as an artifact.
 
-* ``events``          — executed simulator events (machine-independent);
-* ``wall_s``          — best-of-N wall-clock for the run;
-* ``events_per_sec``  — the throughput figure the CI smoke gate tracks.
-
-The committed baseline lives next to this file as ``BENCH_perf.json``;
-every measurement run also dumps ``BENCH_perf.latest.json`` so CI can
-upload the fresh numbers as an artifact.
+Per scenario the payload records ``events``, ``events_scheduled``,
+``wall_s``, ``events_per_sec``, ``peak_mem_kb`` and the exact report
+``fingerprint`` — see :mod:`repro.perf.measure` for definitions. The
+``legacy_comparison`` section pins the virtual-time server's advantage
+over the event-per-job reference (scheduled-event reduction on fig3,
+wall-clock speedup on fig8).
 """
 
 import json
-import os
 import pathlib
-import platform
-import time
 
-from repro.runtime.config import ExperimentConfig
-from repro.runtime.runner import run_deployment
-from repro.runtime.sweep import loss_grid
+from repro.perf import (          # noqa: F401  (re-exported for the gate)
+    OVERLAY_SEED,
+    SCENARIOS,
+    host_info,
+    measure_all,
+    measure_legacy_comparison,
+    measure_scenario,
+    measure_speedup,
+)
 
 BASELINE_PATH = pathlib.Path(__file__).parent / "BENCH_perf.json"
 LATEST_PATH = pathlib.Path(__file__).parent / "BENCH_perf.latest.json"
-
-#: Overlay used by every scenario: fixed so the harness is self-contained
-#: (no median-of-100 selection) and the event count never drifts.
-OVERLAY_SEED = 11
-
-
-def _config(setup, rate, **overrides):
-    defaults = dict(
-        setup=setup,
-        n=13,
-        rate=float(rate),
-        warmup=0.4,
-        duration=1.0,
-        drain=2.0,
-        seed=1,
-        overlay_seed=OVERLAY_SEED,
-    )
-    defaults.update(overrides)
-    return ExperimentConfig(**defaults)
-
-
-#: name -> zero-argument config factory; one scenario per figure family.
-SCENARIOS = {
-    # Fig. 3: one workload-sweep cell near the knee of the n=13 curve.
-    "fig3_workload": lambda: _config("semantic", 200, duration=0.6),
-    # Fig. 5: the latency-distribution workload (steady moderate rate).
-    "fig5_latency": lambda: _config("semantic", 104),
-    # Fig. 6: one lossy grid cell, retransmissions disabled as in §4.5.
-    "fig6_loss": lambda: _config("gossip", 52, loss_rate=0.2,
-                                 retransmit_timeout=None, drain=3.0),
-    # Fig. 7: a low-rate run over one random overlay.
-    "fig7_overlay": lambda: _config("gossip", 26),
-    # Fig. 8: classic gossip pushed past saturation.
-    "fig8_saturation": lambda: _config("gossip", 800, duration=0.4),
-}
-
-
-def host_info():
-    """Machine context recorded alongside every measurement."""
-    return {
-        "cpu_count": os.cpu_count(),
-        "python": platform.python_version(),
-        "machine": platform.machine(),
-    }
-
-
-def measure_scenario(name, repeats=3):
-    """Run one scenario ``repeats`` times; best wall-clock wins.
-
-    The event count must be identical across repeats — a mismatch means
-    the simulator lost determinism, which this harness treats as fatal.
-    """
-    factory = SCENARIOS[name]
-    events = None
-    best = None
-    for _ in range(repeats):
-        config = factory()
-        start = time.perf_counter()
-        deployment, _report = run_deployment(config)
-        wall = time.perf_counter() - start
-        executed = deployment.sim.events_executed
-        if events is None:
-            events = executed
-        elif events != executed:
-            raise RuntimeError(
-                "scenario {!r} executed {} then {} events: "
-                "determinism broken".format(name, events, executed))
-        best = wall if best is None else min(best, wall)
-    return {
-        "events": events,
-        "wall_s": round(best, 4),
-        "events_per_sec": round(events / best, 1),
-    }
-
-
-def measure_all(repeats=3):
-    """Measure every scenario; returns the full baseline-shaped payload."""
-    return {
-        "host": host_info(),
-        "scenarios": {name: measure_scenario(name, repeats=repeats)
-                      for name in sorted(SCENARIOS)},
-    }
-
-
-def measure_speedup(workers=4, runs_per_cell=2):
-    """Fig. 6-style loss grid, serial vs. ``workers`` processes.
-
-    Returns the wall-clock of both executions, their ratio, and whether
-    the grids were bitwise-identical (they must be — parallelism is
-    required to be invisible to results). ``cpu_count`` is recorded
-    because the achievable ratio is bounded by the physical cores: on a
-    single-CPU host the parallel path can only add spawn overhead.
-    """
-    base = _config("gossip", 26, retransmit_timeout=None, drain=3.0)
-    loss_rates = [0.1, 0.3]
-    rates = [26, 52]
-    start = time.perf_counter()
-    serial = loss_grid(base, loss_rates, rates,
-                       runs_per_cell=runs_per_cell, workers=1)
-    serial_s = time.perf_counter() - start
-    start = time.perf_counter()
-    parallel = loss_grid(base, loss_rates, rates,
-                         runs_per_cell=runs_per_cell, workers=workers)
-    parallel_s = time.perf_counter() - start
-    return {
-        "workers": workers,
-        "grid_runs": len(loss_rates) * len(rates) * runs_per_cell,
-        "serial_s": round(serial_s, 3),
-        "parallel_s": round(parallel_s, 3),
-        "speedup": round(serial_s / parallel_s, 2),
-        "identical": serial == parallel,
-        "cpu_count": os.cpu_count(),
-    }
 
 
 def load_baseline():

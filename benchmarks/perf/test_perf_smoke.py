@@ -1,8 +1,21 @@
-"""CI smoke gate: the simulator must stay within 0.8x of the committed
-events/sec baseline, and every scenario's event count must match it
-exactly (event counts are machine-independent, so a mismatch means the
-simulation itself changed — regenerate the baseline deliberately with
-``REPRO_PERF_UPDATE=1`` or ``python -m benchmarks.perf --update``).
+"""CI smoke gate for the simulator hot path.
+
+Three checks per run:
+
+* **Exactness** — every scenario's report fingerprint must match the
+  committed baseline bit for bit. The fingerprint hashes the full
+  experiment report (config, raw latency samples, every counter) with
+  floats rendered exactly, so any behavioural drift fails here no matter
+  how fast the simulator got. Event counts are *not* pinned: they are an
+  implementation property, precisely what hot-path optimisation changes.
+* **Throughput** — events/sec must stay within ``TOLERANCE`` of baseline.
+* **Virtual-time advantage** — the fast path must keep beating the
+  event-per-job reference servers: ≥ 25% fewer scheduled kernel events on
+  fig3_workload (machine-independent) and ≥ 1.2x wall-clock on
+  fig8_saturation (measured fresh, both sides on this host).
+
+Regenerate the baseline deliberately with ``REPRO_PERF_UPDATE=1`` or
+``python -m benchmarks.perf --update``.
 """
 
 import os
@@ -12,10 +25,20 @@ from benchmarks.perf import harness
 #: Fraction of baseline events/sec the smoke run must reach.
 TOLERANCE = float(os.environ.get("REPRO_PERF_TOLERANCE", "0.8"))
 REPEATS = int(os.environ.get("REPRO_PERF_REPEATS", "3"))
+#: Interleaved VT/legacy pairs for the fig8 wall-clock comparison. More
+#: than REPEATS because the speedup gate compares two minima, and each
+#: must converge through host noise.
+COMPARISON_REPEATS = int(os.environ.get("REPRO_PERF_COMPARISON_REPEATS", "4"))
+#: Acceptance floors for the virtual-time servers vs the legacy reference.
+EVENT_REDUCTION_FLOOR = float(
+    os.environ.get("REPRO_PERF_EVENT_REDUCTION_FLOOR", "0.25"))
+SPEEDUP_FLOOR = float(os.environ.get("REPRO_PERF_SPEEDUP_FLOOR", "1.2"))
 
 
 def test_perf_smoke():
     payload = harness.measure_all(repeats=REPEATS)
+    payload["legacy_comparison"] = comparison = (
+        harness.measure_legacy_comparison(repeats=COMPARISON_REPEATS))
     harness.write_latest(payload)
 
     if os.environ.get("REPRO_PERF_UPDATE"):
@@ -31,13 +54,25 @@ def test_perf_smoke():
         expected = baseline["scenarios"].get(name)
         assert expected is not None, (
             "scenario {!r} missing from baseline — regenerate it".format(name))
-        assert measured["events"] == expected["events"], (
-            "scenario {!r} executed {} events, baseline has {}: the "
-            "simulation changed; regenerate the baseline if intentional"
-            .format(name, measured["events"], expected["events"]))
+        assert measured["fingerprint"] == expected["fingerprint"], (
+            "scenario {!r} produced report fingerprint {} but the baseline "
+            "pins {}: the simulation's results changed; regenerate the "
+            "baseline if intentional".format(
+                name, measured["fingerprint"], expected["fingerprint"]))
         floor = TOLERANCE * expected["events_per_sec"]
         assert measured["events_per_sec"] >= floor, (
             "scenario {!r} ran at {} events/s, below {:.0f} "
             "({}x baseline {})".format(
                 name, measured["events_per_sec"], floor,
                 TOLERANCE, expected["events_per_sec"]))
+
+    reduction = comparison["fig3_events_scheduled_reduction"]
+    assert reduction >= EVENT_REDUCTION_FLOOR, (
+        "virtual-time servers schedule only {:.1%} fewer kernel events than "
+        "the event-per-job reference on fig3_workload (floor {:.0%})".format(
+            reduction, EVENT_REDUCTION_FLOOR))
+    speedup = comparison["fig8_speedup"]
+    assert speedup >= SPEEDUP_FLOOR, (
+        "virtual-time servers are only {}x faster than the event-per-job "
+        "reference on fig8_saturation (floor {}x)".format(
+            speedup, SPEEDUP_FLOOR))

@@ -12,6 +12,9 @@ Exposes the experiment harness without writing Python:
                     liveness-after-heal failure.
 * ``check``       — determinism lint + Paxos safety invariant monitor
                     (see docs/static-analysis.md).
+* ``perf``        — the simulator microbenchmarks (events/sec, scheduled
+                    kernel events, peak memory, report fingerprints; see
+                    benchmarks/perf for the committed baseline and gate).
 
 All commands accept ``--seed`` and print deterministic results. Commands
 that execute several independent runs (``compare``, ``sweep``,
@@ -234,6 +237,63 @@ def cmd_chaos(args):
     return 0
 
 
+def cmd_perf(args):
+    """Simulator microbenchmarks without knowing the module path."""
+    import json
+
+    from repro.perf import (
+        SCENARIOS,
+        host_info,
+        measure_legacy_comparison,
+        measure_scenario,
+        measure_speedup,
+    )
+
+    if args.speedup:
+        result = measure_speedup(workers=args.workers or 4)
+        print(json.dumps(result, indent=2, sort_keys=True))
+        return 0 if result["identical"] else 1
+
+    names = sorted(SCENARIOS) if args.scenario == "all" else [args.scenario]
+    unknown = [name for name in names if name not in SCENARIOS]
+    if unknown:
+        print("unknown scenario {!r}; known: {}".format(
+            unknown[0], ", ".join(sorted(SCENARIOS))), file=sys.stderr)
+        return 2
+    payload = {
+        "host": host_info(),
+        "scenarios": {name: measure_scenario(name, repeats=args.repeats)
+                      for name in names},
+    }
+    if args.scenario == "all":
+        payload["legacy_comparison"] = measure_legacy_comparison(
+            repeats=args.repeats)
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    rows = []
+    for name in names:
+        measured = payload["scenarios"][name]
+        rows.append([
+            name, measured["events"], measured["events_scheduled"],
+            "{:.3f}".format(measured["wall_s"]),
+            "{:,.0f}".format(measured["events_per_sec"]),
+            "{:.0f}".format(measured["peak_mem_kb"]),
+            measured["fingerprint"][:12],
+        ])
+    print(format_table(
+        ["scenario", "events", "scheduled", "wall s", "events/s",
+         "peak KiB", "fingerprint"],
+        rows, title="simulator microbenchmarks"))
+    comparison = payload.get("legacy_comparison")
+    if comparison is not None:
+        print("vs event-per-job servers: {:.1%} fewer scheduled events "
+              "(fig3), {}x wall-clock (fig8)".format(
+                  comparison["fig3_events_scheduled_reduction"],
+                  comparison["fig8_speedup"]))
+    return 0
+
+
 def build_parser():
     """Construct the argparse parser with all subcommands."""
     parser = argparse.ArgumentParser(
@@ -283,6 +343,19 @@ def build_parser():
     p.add_argument("--drain", type=float, default=3.0)
     _add_workers(p)
     p.set_defaults(func=cmd_chaos)
+
+    p = sub.add_parser("perf", help="simulator microbenchmarks")
+    p.add_argument("--scenario", default="all",
+                   help='scenario name or "all" (see repro.perf.scenarios)')
+    p.add_argument("--repeats", type=int, default=3,
+                   help="repeats per scenario; best wall-clock wins")
+    p.add_argument("--json", action="store_true",
+                   help="print the raw measurement payload as JSON")
+    p.add_argument("--speedup", action="store_true",
+                   help="measure the parallel loss_grid speedup instead "
+                        "of the events/sec scenarios")
+    _add_workers(p)
+    p.set_defaults(func=cmd_perf)
 
     add_check_parser(sub)
 

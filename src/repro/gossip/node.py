@@ -20,7 +20,7 @@ additionally charges transmission time. See DESIGN.md §5.2.
 from collections import deque
 
 from repro.sim.actors import Actor
-from repro.sim.server import FifoServer
+from repro.sim.server import make_server, noop as _noop
 from repro.gossip.cache import RecentlySeenCache
 from repro.gossip.hooks import SemanticHooks
 
@@ -72,26 +72,58 @@ class GossipStats:
 
 
 class _PeerSender:
-    """Send routine for one peer: queue + validate/aggregate + pacing."""
+    """Send routine for one peer: queue + validate/aggregate + pacing.
 
-    __slots__ = ("node", "peer_id", "link", "queue", "pending", "busy", "capacity")
+    Pacing is event-free on the fast path: a jitter-free link reports the
+    serialisation completion at transmit time, so the sender tracks the
+    instant the link frees (``_free_at``) arithmetically and arms a single
+    wake-up event only when there is follow-on work to pace — the rest of
+    a validated batch, or messages that queued mid-flight and must be
+    validated/aggregated at the instant the link frees (the same instant
+    the old per-message ``on_wire`` callback ran). A transmission with
+    nothing behind it — the common case below saturation — schedules no
+    pacing event at all. Links that cannot precompute completions
+    (jittered, or event-per-job legacy servers) fall back to the two-event
+    path, where ``on_wire`` plays the wake-up's role.
+    """
+
+    __slots__ = ("node", "sim", "peer_id", "link", "queue", "pending",
+                 "capacity", "_free_at", "_wakeup_armed", "_wakeup_seq")
 
     def __init__(self, node, peer_id, link, capacity):
         self.node = node
+        self.sim = node.sim
         self.peer_id = peer_id
         self.link = link
         self.queue = deque()
         self.pending = deque()   # current validated/aggregated batch
-        self.busy = False
         self.capacity = capacity
+        self._free_at = 0.0      # link serialises our traffic until then
+        self._wakeup_armed = False   # a wake-up (or on_wire) is outstanding
+        self._wakeup_seq = 0     # reserved tie-break slot for the wake-up
+
+    @property
+    def busy(self):
+        """True while a batch is being serialised or paced."""
+        return self._wakeup_armed or self.sim.now < self._free_at
 
     def enqueue(self, payload):
         if self.capacity is not None and len(self.queue) >= self.capacity:
             self.node.stats.send_queue_drops += 1
             return
         self.queue.append(payload)
-        if not self.busy:
-            self._pump()
+        if self._wakeup_armed:
+            return   # an outstanding wake-up will pump this message
+        if self.sim.now < self._free_at:
+            # Link busy with nothing paced behind it yet: wake exactly
+            # when it frees to batch up whatever has queued by then. The
+            # reserved slot makes the wake-up fire in the heap position
+            # the reference implementation gave its completion event.
+            self._wakeup_armed = True
+            self.sim.push_event(self._free_at, self._wakeup, (),
+                                self._wakeup_seq)
+            return
+        self._pump()
 
     def _pump(self):
         """Prepare the next batch (validate + aggregate) and start sending."""
@@ -100,7 +132,6 @@ class _PeerSender:
         examined = 0   # messages run through validate/aggregate this pump
         while not self.pending:
             if not self.queue:
-                self.busy = False
                 self._charge_hooks(examined)
                 return
             batch = list(self.queue)
@@ -123,9 +154,8 @@ class _PeerSender:
                     )
                     node.stats.aggregated_saved += saved
             self.pending.extend(kept)
-        self.busy = True
         self._charge_hooks(examined)
-        self._send_next()
+        self._transmit(self.pending.popleft())
 
     def _charge_hooks(self, examined):
         """Charge ``hook_s`` CPU per message examined by validate/aggregate.
@@ -141,14 +171,55 @@ class _PeerSender:
             return
         service = examined * node.costs.hook_s
         if service > 0.0:
-            node.cpu.submit(service, _noop)
+            node._cpu_submit(service, _noop)
 
-    def _send_next(self):
-        if not self.pending:
-            self._pump()
+    def _transmit(self, payload):
+        sim = self.sim
+        # Reserve the wake-up's tie-breaking slot *before* the transmit,
+        # where the event-per-job reference allocated its per-transmission
+        # completion event: a wake-up armed later (possibly by an enqueue
+        # mid-flight) then fires in exactly the reference's heap position
+        # relative to other events landing on the completion instant —
+        # including the arrival event a zero-latency link would put there.
+        seq = sim.reserve_slot()
+        completion = self.link.transmit_timed(payload)
+        if completion is None:
+            # Two-event reference path (jittered link or legacy server):
+            # the serialisation completion is not precomputable, so the
+            # on_wire callback paces instead. The reservation goes unused
+            # — a harmless gap in the sequence counter.
+            self._wakeup_armed = True
+            self.link.transmit(payload, on_wire=self._paced_wakeup)
             return
-        payload = self.pending.popleft()
-        self.link.transmit(payload, on_wire=self._send_next)
+        self._wakeup_seq = seq
+        self._free_at = completion
+        if (self.pending or self.queue) and not self._wakeup_armed:
+            self._wakeup_armed = True
+            sim.push_event(completion, self._wakeup, (), seq)
+
+    def _wakeup(self):
+        self._wakeup_armed = False
+        if self.sim.now < self._free_at:
+            # The link was re-busied at this very instant (an enqueue at
+            # the completion time pumped first); re-arm for the new
+            # completion if there is still work to pace.
+            if self.pending or self.queue:
+                self._wakeup_armed = True
+                self.sim.schedule_at_reserved(self._free_at,
+                                              self._wakeup_seq, self._wakeup)
+            return
+        self._resume()
+
+    def _paced_wakeup(self):
+        self._wakeup_armed = False
+        self._free_at = self.sim.now   # the link just freed
+        self._resume()
+
+    def _resume(self):
+        if self.pending:
+            self._transmit(self.pending.popleft())
+        else:
+            self._pump()
 
 
 class GossipNode(Actor):
@@ -180,7 +251,13 @@ class GossipNode(Actor):
         self.hooks = hooks or SemanticHooks()
         self.cache = cache if cache is not None else RecentlySeenCache()
         self.deliver = deliver
-        self.cpu = cpu or FifoServer(sim)
+        self.cpu = cpu or make_server(sim)
+        #: Fire-and-forget CPU submission for the receive/broadcast hot
+        #: path. ``submit_timed`` (virtual-time servers) skips the
+        #: bool-wrapping frame of ``submit``; servers without it (the
+        #: event-per-job reference) fall back to ``submit``. The return
+        #: value is never used at these call sites.
+        self._cpu_submit = getattr(self.cpu, "submit_timed", None) or self.cpu.submit
         #: Whether hook CPU time (``costs.hook_s``) is charged on the send
         #: path. Decided once against the hooks installed at construction,
         #: so observational wrappers attached later (e.g. the safety
@@ -236,7 +313,7 @@ class GossipNode(Actor):
             return  # re-broadcast of a known message: nothing to do
         fanout = len(self._senders)
         service = self.costs.recv_fresh_s + fanout * self.costs.send_per_peer_s
-        self.cpu.submit(service, self._complete_broadcast, payload)
+        self._cpu_submit(service, self._complete_broadcast, payload)
 
     def _complete_broadcast(self, payload):
         self._deliver(payload)
@@ -256,19 +333,24 @@ class GossipNode(Actor):
             parts = (payload,)
         fresh = []
         service = 0.0
+        duplicates = 0
         for part in parts:
             if self.cache.register(part.uid):
                 fresh.append(part)
                 service += costs.recv_fresh_s
             else:
+                duplicates += 1
                 service += costs.recv_dup_s
+        # Count duplicates per part (matching ``disaggregated``), so an
+        # aggregated bundle of k already-seen messages is k duplicates —
+        # the paper's §4.3 per-message semantics.
+        self.stats.duplicates += duplicates
         if not fresh:
-            self.stats.duplicates += 1
-            self.cpu.submit(service, _noop)
+            self._cpu_submit(service, _noop)
             return
         fanout = max(0, len(self._senders) - 1)
         service += len(fresh) * fanout * costs.send_per_peer_s
-        self.cpu.submit(service, self._complete_receive, fresh, src)
+        self._cpu_submit(service, self._complete_receive, fresh, src)
 
     def _complete_receive(self, fresh, src):
         for part in fresh:
@@ -289,7 +371,3 @@ class GossipNode(Actor):
                 continue
             stats.forwarded += 1
             sender.enqueue(payload)
-
-
-def _noop():
-    pass

@@ -11,9 +11,26 @@ messages when inter-routine queues fill up.
 Message loss: a per-link ``loss_hook`` (see :mod:`repro.net.faults`) is
 consulted at delivery time; if it returns True the message is silently
 discarded, reproducing the paper's receiver-side fault injection (§4.5).
+
+Single-event hops
+-----------------
+
+With a virtual-time transmission server the serialisation completion of an
+accepted message is known at submit time, so a jitter-free link (the
+default configuration) schedules exactly **one** kernel event per hop — the
+propagation arrival at ``completion + latency`` — plus a pacing event at
+``completion`` only when the sender asked for ``on_wire``. Jittered links
+keep the legacy two-event path (serialisation completion, then arrival) so
+the ``link-jitter`` RNG is drawn at exactly the same instants and in the
+same order as before. :meth:`degrade` converts not-yet-serialised fast-path
+messages back onto the legacy path so they observe the post-degradation
+latency/jitter, preserving the documented "only messages serialised after
+the call see the new parameters" contract.
 """
 
-from repro.sim.server import FifoServer
+from collections import deque
+
+from repro.sim.server import make_server
 
 
 class LinkConfig:
@@ -58,10 +75,16 @@ class DirectedLink:
     """One direction of a channel: src -> dst."""
 
     __slots__ = (
-        "sim", "src", "dst", "latency_s", "config", "stats",
-        "_server", "_jitter_rng", "_deliver", "loss_hook",
-        "_base_latency_s", "_base_config", "_base_jitter_rng",
+        "sim", "src", "dst", "latency_s", "config", "_stats",
+        "_server", "_submit_timed", "_submit_fast", "_in_flight",
+        "_jitter_rng", "_deliver",
+        "loss_hook", "_base_latency_s", "_base_config", "_base_jitter_rng",
     )
+
+    #: Drain fast-path counters once this many transmissions accumulate
+    #: (reads through :attr:`stats` always drain; this bound only caps the
+    #: deque between reads).
+    _DRAIN_BATCH = 256
 
     def __init__(self, sim, src, dst, latency_s, config, deliver, loss_hook=None):
         """
@@ -78,9 +101,17 @@ class DirectedLink:
         self.dst = dst
         self.latency_s = latency_s
         self.config = config
-        self.stats = LinkStats()
-        self._server = FifoServer(sim, capacity=config.queue_capacity,
-                                  on_drop=self._on_queue_drop)
+        self._stats = LinkStats()
+        self._server = make_server(sim, capacity=config.queue_capacity,
+                                   on_drop=self._on_queue_drop)
+        # The fast path needs the completion time at submit; a server
+        # without submit_timed (the legacy reference) disables it.
+        self._submit_timed = getattr(self._server, "submit_timed", None)
+        self._submit_fast = getattr(self._server, "submit_fast", None)
+        #: Fast-path messages not yet drained into ``stats.sent``, as
+        #: (serialisation_completion, size_bytes, payload, arrive_event)
+        #: in completion order.
+        self._in_flight = deque()
         self._jitter_rng = sim.rng("link-jitter") if config.jitter_s > 0 else None
         self._deliver = deliver
         self.loss_hook = loss_hook
@@ -88,6 +119,17 @@ class DirectedLink:
         self._base_latency_s = latency_s
         self._base_config = config
         self._base_jitter_rng = self._jitter_rng
+
+    @property
+    def stats(self):
+        """Counters, drained to the current instant before reading.
+
+        Fast-path messages count as ``sent`` once their serialisation
+        completion has passed — the same instant the legacy path's
+        completion event incremented the counter.
+        """
+        self._drain_sent(self.sim.now)
+        return self._stats
 
     def degrade(self, latency_factor=1.0, extra_jitter_s=0.0, jitter_rng=None):
         """Degrade propagation relative to the link's pristine parameters.
@@ -108,10 +150,16 @@ class DirectedLink:
         else:
             self.config = base
             self._jitter_rng = self._base_jitter_rng
+        self._requeue_in_flight()
 
     def restore(self):
         """Undo any degradation (see :meth:`degrade`)."""
         self.degrade()
+
+    @property
+    def fast_path(self):
+        """Whether :meth:`transmit_timed` will take the single-event hop."""
+        return self._submit_fast is not None and self._jitter_rng is None
 
     @property
     def busy(self):
@@ -120,6 +168,38 @@ class DirectedLink:
     @property
     def queue_length(self):
         return self._server.queue_length
+
+    def transmit_timed(self, payload):
+        """Fast-path transmit that returns the serialisation completion.
+
+        Senders that pace themselves arithmetically (tracking when the
+        link frees instead of asking for an ``on_wire`` event) call this
+        first: when the single-event hop applies, the payload is committed
+        to the wire, exactly one arrival event is scheduled, and the
+        instant the link frees is returned. Returns ``None`` when the fast
+        path is unavailable (jittered link, or an event-per-job legacy
+        server) — the caller must then fall back to :meth:`transmit`.
+
+        Callers are expected to transmit only while the link is idle, so a
+        queue-full drop cannot normally occur here; if it does, the drop
+        is counted and the current time is returned (the link is free).
+        """
+        submit_fast = self._submit_fast
+        if submit_fast is None or self._jitter_rng is not None:
+            return None
+        config = self.config
+        service = config.per_message_s + payload.size_bytes * config.per_byte_s
+        completion = submit_fast(service, payload)
+        sim = self.sim
+        if completion is None:
+            return sim.now
+        # completion >= now by construction, so the arrival can take the
+        # kernel's unchecked hot path.
+        event = sim.push_event(completion + self.latency_s,
+                               self._arrive, (payload,))
+        self._in_flight.append((completion, payload.size_bytes,
+                                payload, event))
+        return completion
 
     def transmit(self, payload, on_wire=None):
         """Send a payload towards ``dst``.
@@ -131,10 +211,27 @@ class DirectedLink:
         """
         config = self.config
         service = config.per_message_s + payload.size_bytes * config.per_byte_s
+        submit_timed = self._submit_timed
+        if submit_timed is not None and self._jitter_rng is None:
+            # Fast path: the serialisation completion is arithmetic, so the
+            # only event this hop needs is the propagation arrival (plus a
+            # pacing wake-up when the sender asked for one). ``args`` carry
+            # the payload and on_wire to _on_queue_drop.
+            completion = submit_timed(service, None, payload, on_wire)
+            if completion is None:
+                return False
+            sim = self.sim
+            event = sim.schedule_at(completion + self.latency_s,
+                                    self._arrive, payload)
+            self._in_flight.append((completion, payload.size_bytes,
+                                    payload, event))
+            if on_wire is not None:
+                sim.schedule_at(completion, on_wire)
+            return True
         return self._server.submit(service, self._on_serialised, payload, on_wire)
 
     def _on_queue_drop(self, fn, args):
-        self.stats.dropped_queue += 1
+        self._stats.dropped_queue += 1
         # Still notify the sender that the link "consumed" the message so
         # pacing callbacks do not stall.
         on_wire = args[1]
@@ -142,7 +239,7 @@ class DirectedLink:
             on_wire()
 
     def _on_serialised(self, payload, on_wire):
-        stats = self.stats
+        stats = self._stats
         stats.sent += 1
         stats.bytes_sent += payload.size_bytes
         delay = self.latency_s
@@ -153,8 +250,45 @@ class DirectedLink:
             on_wire()
 
     def _arrive(self, payload):
+        # Counter draining is lazy (any read through ``stats`` drains); the
+        # arrival itself only keeps the deque bounded between reads.
+        if len(self._in_flight) >= self._DRAIN_BATCH:
+            self._drain_sent(self.sim.now)
         if self.loss_hook is not None and self.loss_hook(self.dst):
-            self.stats.dropped_loss += 1
+            self._stats.dropped_loss += 1
             return
-        self.stats.delivered += 1
+        self._stats.delivered += 1
         self._deliver(self.src, payload)
+
+    def _drain_sent(self, now):
+        """Count fast-path messages whose serialisation has completed."""
+        in_flight = self._in_flight
+        if not in_flight:
+            return
+        stats = self._stats
+        while in_flight and in_flight[0][0] <= now:
+            record = in_flight.popleft()
+            stats.sent += 1
+            stats.bytes_sent += record[1]
+
+    def _requeue_in_flight(self):
+        """Move not-yet-serialised fast-path messages onto the legacy path.
+
+        Called by :meth:`degrade`: those messages' arrival events were
+        computed from the pre-degradation latency, but they serialise
+        *after* the change and must observe the new parameters. Each gets
+        its pre-computed arrival cancelled and a serialisation-completion
+        event scheduled instead, which re-reads latency (and draws jitter)
+        at exactly the instant the legacy path would have.
+        """
+        in_flight = self._in_flight
+        if not in_flight:
+            return
+        sim = self.sim
+        self._drain_sent(sim.now)
+        while in_flight:
+            completion, _size, payload, event = in_flight.popleft()
+            sim.cancel(event)
+            # on_wire=None: the pacing event (if any) was scheduled
+            # separately at transmit time and still fires at ``completion``.
+            sim.schedule_at(completion, self._on_serialised, payload, None)

@@ -1,0 +1,26 @@
+"""Performance measurement: scenarios and the measurement core.
+
+Lives inside the package (rather than under ``benchmarks/``) so the
+``repro perf`` CLI subcommand and the perf-smoke CI gate share one
+implementation. ``benchmarks/perf`` keeps the committed baseline file and
+the pytest gate and delegates all measurement here.
+"""
+
+from repro.perf.scenarios import OVERLAY_SEED, SCENARIOS
+from repro.perf.measure import (
+    host_info,
+    measure_all,
+    measure_legacy_comparison,
+    measure_scenario,
+    measure_speedup,
+)
+
+__all__ = [
+    "OVERLAY_SEED",
+    "SCENARIOS",
+    "host_info",
+    "measure_all",
+    "measure_legacy_comparison",
+    "measure_scenario",
+    "measure_speedup",
+]

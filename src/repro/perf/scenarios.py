@@ -1,0 +1,48 @@
+"""The fixed-seed microbenchmark scenarios.
+
+Each scenario is a small experiment shaped like one of the paper's
+figures (workload sweep cell, lossy grid cell, overlay run, run at
+saturation). Because the simulator is deterministic, a scenario always
+executes exactly the same events and produces a bit-identical report;
+only the wall-clock varies with the machine and the hot-path
+implementation. These five are also the A/B fingerprint corpus: the
+equivalence suite re-runs them on the event-per-job reference servers
+and demands identical report fingerprints.
+"""
+
+from repro.runtime.config import ExperimentConfig
+
+#: Overlay used by every scenario: fixed so the harness is self-contained
+#: (no median-of-100 selection) and the event count never drifts.
+OVERLAY_SEED = 11
+
+
+def _config(setup, rate, **overrides):
+    defaults = dict(
+        setup=setup,
+        n=13,
+        rate=float(rate),
+        warmup=0.4,
+        duration=1.0,
+        drain=2.0,
+        seed=1,
+        overlay_seed=OVERLAY_SEED,
+    )
+    defaults.update(overrides)
+    return ExperimentConfig(**defaults)
+
+
+#: name -> zero-argument config factory; one scenario per figure family.
+SCENARIOS = {
+    # Fig. 3: one workload-sweep cell near the knee of the n=13 curve.
+    "fig3_workload": lambda: _config("semantic", 200, duration=0.6),
+    # Fig. 5: the latency-distribution workload (steady moderate rate).
+    "fig5_latency": lambda: _config("semantic", 104),
+    # Fig. 6: one lossy grid cell, retransmissions disabled as in §4.5.
+    "fig6_loss": lambda: _config("gossip", 52, loss_rate=0.2,
+                                 retransmit_timeout=None, drain=3.0),
+    # Fig. 7: a low-rate run over one random overlay.
+    "fig7_overlay": lambda: _config("gossip", 26),
+    # Fig. 8: classic gossip pushed past saturation.
+    "fig8_saturation": lambda: _config("gossip", 800, duration=0.4),
+}

@@ -52,7 +52,7 @@ class Event:
 class EventQueue:
     """Binary heap of :class:`Event` ordered by ``(time, seq)``."""
 
-    __slots__ = ("_heap", "_seq", "_live")
+    __slots__ = ("_heap", "_seq", "_live", "_pushed")
 
     #: Minimum heap size before compaction is considered; below this the
     #: lazy pops clean up cancelled shells cheaply enough on their own.
@@ -62,19 +62,49 @@ class EventQueue:
         self._heap = []
         self._seq = 0
         self._live = 0
+        self._pushed = 0
 
     def __len__(self):
         return self._live
+
+    @property
+    def scheduled_total(self):
+        """Events ever pushed — the kernel event volume a run generates.
+
+        Reserved-but-unused sequence numbers (see :meth:`reserve`) are not
+        counted: they cost one integer increment, not a heap operation.
+        """
+        return self._pushed
 
     @property
     def heap_size(self):
         """Physical heap entries, including not-yet-reclaimed shells."""
         return len(self._heap)
 
-    def push(self, time, fn, args):
-        """Create and enqueue an event; returns its handle."""
-        event = Event(time, self._seq, fn, args)
+    def reserve(self):
+        """Allocate and return a sequence number without enqueueing.
+
+        Lets a caller that *may* need an event later pin its tie-breaking
+        position now: an event pushed afterwards with the reserved ``seq``
+        fires exactly where an event scheduled at reservation time would
+        have. Unused reservations cost nothing but a gap in the sequence —
+        relative order of all other events is unaffected.
+        """
+        seq = self._seq
         self._seq += 1
+        return seq
+
+    def push(self, time, fn, args, seq=None):
+        """Create and enqueue an event; returns its handle.
+
+        ``seq`` (from :meth:`reserve`) overrides the tie-breaking position;
+        by default the event is sequenced at push time.
+        """
+        if seq is None:
+            seq = self._seq
+            self._seq += 1
+        event = Event(time, seq, fn, args)
+        self._pushed += 1
         self._live += 1
         heapq.heappush(self._heap, event)
         return event

@@ -13,9 +13,40 @@ implementation "may discard messages when queues connecting different
 routines are full, as a way to prevent slow processes from blocking the main
 transport routine"; a bounded server reproduces that by invoking a drop
 callback instead of enqueueing.
+
+Virtual time
+------------
+
+Because a FIFO single-server queue is work-conserving and its service
+times are fixed at submission, every job's completion instant is known
+the moment it is accepted::
+
+    completion = max(now, busy_until) + service
+
+:class:`FifoServer` exploits that: it tracks ``busy_until`` arithmetically
+and schedules **zero** kernel events for accounting-only jobs (callback
+``None`` or :func:`noop`) and exactly one event — at the precomputed
+completion — for jobs with real callbacks. The legacy arrangement (one
+kernel event per job, chained start-to-completion) survives as
+:class:`LegacyFifoServer`; `tests/sim/test_server_equivalence.py` drives
+random traces through both and the A/B fingerprint suite
+(`tests/integration/test_ab_fingerprint.py`) proves full experiment
+reports identical. Stats (``completed``, ``busy_time``) are maintained by
+lazily draining a deque of completion timestamps whenever the server is
+observed — reads through :attr:`FifoServer.stats` always see the state a
+per-job event loop would have produced at the same instant.
 """
 
 from collections import deque
+from contextlib import contextmanager
+
+
+def noop():
+    """Canonical accounting-only callback: charges service time, no effect.
+
+    The virtual-time server schedules no kernel event for jobs submitted
+    with this callback (or ``None``); their completion is pure arithmetic.
+    """
 
 
 class ServerStats:
@@ -38,7 +69,7 @@ class ServerStats:
 
 
 class FifoServer:
-    """Single-server FIFO queue over the simulator.
+    """Single-server FIFO queue over the simulator, in virtual time.
 
     Parameters
     ----------
@@ -50,6 +81,167 @@ class FifoServer:
         ``on_drop`` callback (if any) is invoked with the job's callback.
     """
 
+    __slots__ = ("sim", "capacity", "on_drop", "slowdown",
+                 "_stats", "_pending", "_busy_until", "_head_charged")
+
+    def __init__(self, sim, capacity=None, on_drop=None):
+        self.sim = sim
+        self.capacity = capacity
+        self.on_drop = on_drop
+        #: Service-time multiplier (gray-failure injection): jobs submitted
+        #: while > 1 run that much slower. Queued jobs keep the factor in
+        #: force when they were submitted.
+        self.slowdown = 1.0
+        self._stats = ServerStats()
+        #: Accepted jobs not yet drained, as (completion_time, service)
+        #: in FIFO order; the head is the job in service.
+        self._pending = deque()
+        self._busy_until = 0.0
+        #: Whether the head job's service is already in ``busy_time``
+        #: (legacy charged at service *start*, so an in-service job is
+        #: charged before it completes).
+        self._head_charged = False
+
+    @property
+    def stats(self):
+        """Counters, drained to the current instant before reading."""
+        self._drain(self.sim.now)
+        return self._stats
+
+    @property
+    def queue_length(self):
+        """Jobs waiting to start (excludes the in-service job)."""
+        self._drain(self.sim.now)
+        pending = self._pending
+        return len(pending) - 1 if pending else 0
+
+    @property
+    def busy(self):
+        self._drain(self.sim.now)
+        return bool(self._pending)
+
+    def submit(self, service_time, fn, *args):
+        """Enqueue a job taking ``service_time`` whose effect is ``fn(*args)``.
+
+        The callback runs when the job *completes*. Returns True if the job
+        was accepted, False if it was dropped because the queue was full.
+        """
+        return self.submit_timed(service_time, fn, *args) is not None
+
+    def submit_timed(self, service_time, fn, *args):
+        """Like :meth:`submit`, but returns the job's completion time.
+
+        Returns ``None`` if the job was dropped (queue full). A caller that
+        needs to act at the completion instant (e.g. a link scheduling the
+        propagation arrival directly) can pass ``fn=None`` and schedule its
+        own single event at the returned time — ``args`` are then only used
+        to describe the job to ``on_drop``.
+        """
+        stats = self._stats
+        stats.submitted += 1
+        if self.slowdown != 1.0:
+            service_time = service_time * self.slowdown
+        now = self.sim.now
+        pending = self._pending
+        # Draining is only needed once the head job has completed; while
+        # the head is still in service (the common case on a busy server)
+        # the deque already reflects the observable state.
+        if pending and pending[0][0] <= now:
+            self._drain(now)
+        if pending:
+            queued = len(pending) - 1   # head is in service
+            if self.capacity is not None and queued >= self.capacity:
+                stats.dropped += 1
+                if self.on_drop is not None:
+                    self.on_drop(fn, args)
+                return None
+            completion = self._busy_until + service_time
+            queued += 1
+            if queued > stats.max_queue:
+                stats.max_queue = queued
+        else:
+            completion = now + service_time
+            # The job starts immediately; busy_time is charged at start.
+            stats.busy_time += service_time
+            self._head_charged = True
+        self._busy_until = completion
+        pending.append((completion, service_time))
+        if fn is not None and fn is not noop:
+            # The callback is scheduled directly: every observable read
+            # (stats, busy, queue_length) drains lazily on access, so no
+            # pre-drain wrapper is needed at the completion instant.
+            self.sim.schedule_at(completion, fn, *args)
+        return completion
+
+    def submit_fast(self, service_time, payload=None):
+        """Accounting-only submission tuned for an expected-idle server.
+
+        The per-transmission hot path (a gossip sender pacing itself never
+        hands the link a message while it is busy) reduces to: drain the
+        previous job, charge this one, return its completion. Anything off
+        that path — server still busy after draining, a slowdown in force —
+        falls back to :meth:`submit_timed` (with ``payload`` describing the
+        job to ``on_drop``), so the semantics are identical; this method
+        only flattens the common case.
+        """
+        pending = self._pending
+        now = self.sim.now
+        if pending:
+            if pending[0][0] > now:
+                return self.submit_timed(service_time, None, payload, None)
+            if len(pending) == 1 and self._head_charged:
+                # Sole predecessor, already charged at its service start:
+                # retiring it is one pop and one counter.
+                pending.popleft()
+                self._stats.completed += 1
+            else:
+                self._drain(now)
+                if pending:
+                    return self.submit_timed(service_time, None, payload, None)
+        if self.slowdown != 1.0:
+            return self.submit_timed(service_time, None, payload, None)
+        stats = self._stats
+        stats.submitted += 1
+        stats.busy_time += service_time
+        self._head_charged = True
+        completion = now + service_time
+        self._busy_until = completion
+        pending.append((completion, service_time))
+        return completion
+
+    def _drain(self, now):
+        """Retire completed jobs and charge the in-service job's time."""
+        pending = self._pending
+        if not pending:
+            return
+        stats = self._stats
+        charged = self._head_charged
+        while pending and pending[0][0] <= now:
+            service = pending.popleft()[1]
+            if charged:
+                charged = False
+            else:
+                stats.busy_time += service
+            stats.completed += 1
+        if pending and not charged:
+            # The new head entered service at its predecessor's completion
+            # (<= now): charge its full service, as the legacy server did
+            # at service start.
+            stats.busy_time += pending[0][1]
+            charged = True
+        self._head_charged = charged
+
+
+class LegacyFifoServer:
+    """Event-per-job FIFO server: the pre-virtual-time implementation.
+
+    Kept verbatim as the executable reference for
+    :class:`FifoServer`'s semantics. The equivalence property tests and
+    the A/B report-fingerprint suite run both implementations against the
+    same traces; :func:`legacy_servers` switches a whole deployment onto
+    this class.
+    """
+
     __slots__ = ("sim", "capacity", "on_drop", "stats", "slowdown",
                  "_queue", "_busy")
 
@@ -58,9 +250,6 @@ class FifoServer:
         self.capacity = capacity
         self.on_drop = on_drop
         self.stats = ServerStats()
-        #: Service-time multiplier (gray-failure injection): jobs submitted
-        #: while > 1 run that much slower. Queued jobs keep the factor in
-        #: force when they were submitted.
         self.slowdown = 1.0
         self._queue = deque()
         self._busy = False
@@ -75,11 +264,7 @@ class FifoServer:
         return self._busy
 
     def submit(self, service_time, fn, *args):
-        """Enqueue a job taking ``service_time`` whose effect is ``fn(*args)``.
-
-        The callback runs when the job *completes*. Returns True if the job
-        was accepted, False if it was dropped because the queue was full.
-        """
+        """Enqueue a job; True if accepted, False if dropped (queue full)."""
         stats = self.stats
         stats.submitted += 1
         if self.slowdown != 1.0:
@@ -110,3 +295,43 @@ class FifoServer:
             self._start(service_time, next_fn, next_args)
         else:
             self._busy = False
+
+
+#: When True, :func:`make_server` builds :class:`LegacyFifoServer`s.
+#: Toggled by :func:`legacy_servers`; never set directly.
+_legacy_mode = False
+
+
+def using_legacy_servers():
+    """Whether :func:`make_server` currently builds legacy servers."""
+    return _legacy_mode
+
+
+def make_server(sim, capacity=None, on_drop=None):
+    """Build the active FIFO-server implementation.
+
+    All production construction sites (process CPUs, link transmission
+    servers) go through this factory so the A/B verification harness can
+    run entire deployments on the event-per-job reference implementation.
+    """
+    if _legacy_mode:
+        return LegacyFifoServer(sim, capacity, on_drop)
+    return FifoServer(sim, capacity, on_drop)
+
+
+@contextmanager
+def legacy_servers():
+    """Context manager: deployments built inside use event-per-job servers.
+
+    Used by the A/B fingerprint harness to prove that the virtual-time
+    server (and the links' single-event fast path, which keys off
+    ``submit_timed`` and is therefore absent on legacy servers) produces
+    bitwise-identical experiment reports.
+    """
+    global _legacy_mode
+    previous = _legacy_mode
+    _legacy_mode = True
+    try:
+        yield
+    finally:
+        _legacy_mode = previous

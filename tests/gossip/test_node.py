@@ -247,7 +247,10 @@ def _run_broadcasts(hooks_factory, hook_s):
                        hooks_factory=hooks_factory)
     for i in range(3):
         nodes[0].broadcast(RawPayload("m{}".format(i), 10))
-    sim.run()
+    # Fixed horizon: accounting-only CPU charges schedule no events under
+    # the virtual-time server, so an open-ended run can end before they
+    # complete; pinning the clock makes busy_time reads well-defined.
+    sim.run(until=1.0)
     return nodes
 
 
@@ -280,3 +283,36 @@ def test_hooks_charged_detects_aggregate_override():
     node = GossipNode(sim, 0, Transport(0), hooks=AggregateOnly())
     assert node.hooks_charged
     assert not GossipNode(sim, 1, Transport(1)).hooks_charged
+
+
+def test_aggregated_bundle_duplicates_counted_per_part(sim):
+    """Regression: an aggregated bundle of k already-seen parts must count
+    k duplicates (the paper's §4.3 per-message semantics, matching
+    ``disaggregated``), not one — and a mixed bundle must still count its
+    stale parts, which previously counted zero."""
+    class Packed(Payload):
+        __slots__ = ("parts",)
+        aggregated = True
+
+        def __init__(self, parts):
+            super().__init__(("packed",) + tuple(p.uid for p in parts), 10)
+            self.parts = parts
+
+    class PackHooks(SemanticHooks):
+        def disaggregate(self, payload):
+            return list(payload.parts)
+
+    node = GossipNode(sim, 0, Transport(0), hooks=PackHooks())
+    stale = [RawPayload("m{}".format(i), 10) for i in range(3)]
+    for part in stale:
+        node.cache.register(part.uid)
+
+    node._on_link_receive(1, Packed(stale))
+    assert node.stats.received == 1
+    assert node.stats.duplicates == 3
+
+    mixed = Packed([stale[0], stale[1], RawPayload("fresh", 10)])
+    node._on_link_receive(1, mixed)
+    assert node.stats.duplicates == 5
+    sim.run()
+    assert node.stats.delivered == 1

@@ -1,0 +1,56 @@
+"""A/B gate for the virtual-time server rework.
+
+The one real hazard of computing completions at submit time is
+same-timestamp tie-breaking: heap sequence numbers are now assigned at
+submission rather than at the predecessor's completion, so two events
+landing on the same instant could, in principle, swap. This suite proves
+they do not where it matters: each committed figure scenario, run on the
+virtual-time servers (with the links' single-event fast path active) and
+on the event-per-job :class:`LegacyFifoServer` reference, must produce a
+bitwise-identical experiment report — every raw latency sample, every
+counter, hashed exactly (floats via ``float.hex``).
+
+If a future change makes a scenario diverge, the fallback is to route that
+configuration through :func:`repro.sim.server.legacy_servers` rather than
+to loosen this gate.
+"""
+
+import pytest
+
+from repro.analysis.fingerprint import report_fingerprint
+from repro.perf.scenarios import SCENARIOS, _config
+from repro.runtime.runner import run_experiment
+from repro.sim.server import legacy_servers
+
+
+def _assert_ab_identical(name, config):
+    fast = report_fingerprint(run_experiment(config))
+    with legacy_servers():
+        reference = report_fingerprint(run_experiment(config))
+    assert fast == reference, (
+        "scenario {!r} diverges between virtual-time and event-per-job "
+        "servers; see tests/integration/test_ab_fingerprint.py docstring "
+        "for the fallback".format(name))
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_report_identical_to_event_per_job_reference(name):
+    _assert_ab_identical(name, SCENARIOS[name]())
+
+
+def test_aggregation_heavy_report_identical():
+    """Regression: merged vs split send batches under same-instant ties.
+
+    With filtering off and the rate high enough to back up send queues,
+    the aggregate hook's ``examined`` count depends on exactly how queued
+    messages group into pump batches. A lazily-armed pacing wake-up that
+    takes its heap position at *arming* time (instead of the reserved
+    per-transmission slot the event-per-job reference uses) lets an event
+    landing on the same completion instant slip in front of it, merging
+    two batches the reference pumped separately — caught here as a
+    busy-time divergence even though message flow is identical.
+    """
+    _assert_ab_identical(
+        "aggregation_heavy",
+        _config("semantic", 300, n=27, enable_filtering=False,
+                duration=0.15, drain=1.0))

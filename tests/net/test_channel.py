@@ -126,3 +126,83 @@ def test_busy_and_queue_length(sim):
     link.transmit(_payload("b"))
     assert link.busy
     assert link.queue_length == 1
+
+
+def test_jitter_free_hop_schedules_single_event(sim):
+    """The fast path: one kernel event per hop (the propagation arrival)."""
+    link = _link(sim, lambda src, p: None,
+                 latency=0.01, per_message_s=0.001, per_byte_s=0.0)
+    before = sim.events_scheduled
+    link.transmit(_payload())
+    assert sim.events_scheduled == before + 1
+    sim.run()
+    assert link.stats.sent == 1
+    assert link.stats.delivered == 1
+
+
+def test_on_wire_hop_schedules_pacing_event(sim):
+    """With on_wire the fast path adds exactly one pacing event."""
+    link = _link(sim, lambda src, p: None,
+                 latency=0.01, per_message_s=0.001, per_byte_s=0.0)
+    before = sim.events_scheduled
+    link.transmit(_payload(), on_wire=lambda: None)
+    assert sim.events_scheduled == before + 2
+
+
+def test_jittered_link_keeps_two_event_path(sim):
+    """Jittered links must draw link-jitter at the serialisation completion
+    (legacy order), so they stay on the event-per-hop path."""
+    link = _link(sim, lambda src, p: None,
+                 latency=0.01, per_message_s=0.001, per_byte_s=0.0,
+                 jitter_s=0.005)
+    before = sim.events_scheduled
+    link.transmit(_payload())
+    sim.run()
+    assert sim.events_scheduled == before + 2
+    assert link.stats.delivered == 1
+
+
+def test_stats_sent_drained_at_observation(sim):
+    """Fast-path sent/bytes counters must read as if counted at each
+    message's serialisation completion, even mid-run."""
+    link = _link(sim, lambda src, p: None,
+                 latency=5.0, per_message_s=1.0, per_byte_s=0.0)
+    link.transmit(_payload("a", size=10))
+    link.transmit(_payload("b", size=20))
+    assert link.stats.sent == 0
+    sim.run(until=1.5)
+    assert link.stats.sent == 1
+    assert link.stats.bytes_sent == 10
+    sim.run(until=2.5)
+    assert link.stats.sent == 2
+    assert link.stats.bytes_sent == 30
+    assert link.stats.delivered == 0  # still propagating
+
+
+def test_degrade_applies_to_not_yet_serialised_messages(sim):
+    """The documented contract: only messages serialised after degrade()
+    see the new parameters — including fast-path messages submitted
+    before the call whose serialisation completes after it."""
+    seen = []
+    link = _link(sim, lambda src, p: seen.append((p.uid, sim.now)),
+                 latency=0.01, per_message_s=0.001, per_byte_s=0.0)
+    link.transmit(_payload("a"))
+    link.transmit(_payload("b"))
+    sim.schedule_at(0.0005, link.degrade, 10.0)
+    sim.run()
+    # Both serialise after t=0.0005, so both travel at the degraded 0.1s.
+    assert seen == [("a", pytest.approx(0.101)), ("b", pytest.approx(0.102))]
+    assert link.stats.sent == 2
+    assert link.stats.delivered == 2
+
+
+def test_degrade_restore_roundtrip_with_in_flight(sim):
+    """restore() mid-flight must also convert pending fast-path messages."""
+    seen = []
+    link = _link(sim, lambda src, p: seen.append((p.uid, sim.now)),
+                 latency=0.01, per_message_s=0.001, per_byte_s=0.0)
+    link.degrade(10.0)
+    link.transmit(_payload("a"))
+    sim.schedule_at(0.0005, link.restore)
+    sim.run()
+    assert seen == [("a", pytest.approx(0.011))]

@@ -131,3 +131,29 @@ def test_chaos_workers_flag_output_identical(capsys):
     serial = capsys.readouterr().out
     assert main(args + ["--workers", "2"]) == 0
     assert capsys.readouterr().out == serial
+
+
+def test_perf_command_json_payload(capsys):
+    import json
+
+    assert main(["perf", "--scenario", "fig7_overlay",
+                 "--repeats", "1", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    measured = payload["scenarios"]["fig7_overlay"]
+    assert measured["events"] > 0
+    assert set(measured) >= {"events", "events_scheduled", "wall_s",
+                             "events_per_sec", "peak_mem_kb", "fingerprint"}
+    # Single-scenario runs skip the (expensive) legacy comparison.
+    assert "legacy_comparison" not in payload
+
+
+def test_perf_command_table_output(capsys):
+    assert main(["perf", "--scenario", "fig7_overlay", "--repeats", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "fig7_overlay" in out
+    assert "events/s" in out
+
+
+def test_perf_command_rejects_unknown_scenario(capsys):
+    assert main(["perf", "--scenario", "bogus"]) == 2
+    assert "unknown scenario" in capsys.readouterr().err

@@ -163,3 +163,29 @@ def test_reentrant_run_raises(sim):
     sim.schedule(1.0, nested)
     with pytest.raises(SimulationError):
         sim.run()
+
+
+def test_reserved_slot_pins_tie_break_position(sim):
+    """An event armed late with a reserved seq fires as if scheduled at
+    reservation time — ahead of same-instant events scheduled in between."""
+    seen = []
+    slot = sim.reserve_slot()
+    sim.schedule_at(1.0, lambda: seen.append("later"))
+    sim.schedule_at_reserved(1.0, slot, lambda: seen.append("reserved"))
+    sim.run()
+    assert seen == ["reserved", "later"]
+
+
+def test_unused_reservation_costs_no_event(sim):
+    before = sim.events_scheduled
+    sim.reserve_slot()
+    assert sim.events_scheduled == before
+    assert sim.pending() == 0
+
+
+def test_schedule_at_reserved_in_past_raises(sim):
+    slot = sim.reserve_slot()
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at_reserved(0.5, slot, lambda: None)

@@ -1,6 +1,15 @@
 """Unit tests for the FIFO single-server queue."""
 
-from repro.sim.server import FifoServer
+import pytest
+
+from repro.sim.server import (
+    FifoServer,
+    LegacyFifoServer,
+    legacy_servers,
+    make_server,
+    noop,
+    using_legacy_servers,
+)
 
 
 def test_job_effect_runs_at_completion(sim):
@@ -102,3 +111,50 @@ def test_new_job_after_idle_starts_immediately(sim):
     server.submit(1.0, lambda: seen.append(sim.now))
     sim.run()
     assert seen == [2.0]
+
+
+def test_accounting_only_jobs_schedule_no_events(sim):
+    """noop / None callbacks are pure arithmetic: zero kernel events."""
+    server = FifoServer(sim)
+    before = sim.events_scheduled
+    server.submit(1.0, noop)
+    server.submit_timed(0.5, None)
+    assert sim.events_scheduled == before
+    sim.run(until=3.0)
+    stats = server.stats
+    assert stats.completed == 2
+    assert stats.busy_time == pytest.approx(1.5)
+    assert not server.busy
+
+
+def test_real_callback_schedules_exactly_one_event(sim):
+    server = FifoServer(sim)
+    before = sim.events_scheduled
+    server.submit(1.0, lambda: None)
+    assert sim.events_scheduled == before + 1
+
+
+def test_submit_timed_returns_completion_time(sim):
+    server = FifoServer(sim)
+    assert server.submit_timed(0.5, None) == pytest.approx(0.5)
+    # Queued behind the first job: completion chains off busy_until.
+    assert server.submit_timed(0.25, None) == pytest.approx(0.75)
+
+
+def test_submit_timed_returns_none_on_drop(sim):
+    dropped = []
+    server = FifoServer(sim, capacity=0,
+                        on_drop=lambda fn, args: dropped.append(args))
+    assert server.submit_timed(1.0, None, "a") is not None  # enters service
+    assert server.submit_timed(1.0, None, "b") is None
+    assert dropped == [("b",)]
+
+
+def test_make_server_honours_legacy_context(sim):
+    assert isinstance(make_server(sim), FifoServer)
+    assert not using_legacy_servers()
+    with legacy_servers():
+        assert using_legacy_servers()
+        assert isinstance(make_server(sim), LegacyFifoServer)
+    assert not using_legacy_servers()
+    assert isinstance(make_server(sim), FifoServer)
