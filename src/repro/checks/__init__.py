@@ -1,25 +1,34 @@
-"""Static and dynamic correctness checks for the reproduction.
+"""Static and dynamic determinism/correctness checks for the reproduction.
 
-Two halves (see docs/static-analysis.md):
+Three legs (see docs/static-analysis.md):
 
-* :mod:`repro.checks.linter` — an AST-based determinism linter that flags
-  nondeterminism hazards (global ``random``, wall-clock reads, set
-  iteration, unstable sort keys, mutable defaults) before they can break
-  the simulator's same-seed/same-run guarantee;
+* :mod:`repro.checks.linter` — an AST-based determinism linter (ten
+  rules: ambient state, tie-break hygiene, executor safety) that flags
+  nondeterminism hazards before they can break the simulator's
+  same-seed/same-run guarantee;
 * :mod:`repro.checks.monitor` — an online :class:`SafetyMonitor` that
   checks Paxos safety invariants (agreement, ballot monotonicity,
   quorum-backed decisions, aggregation reversibility) while a deployment
-  runs.
+  runs;
+* :mod:`repro.checks.auditor` / :mod:`repro.checks.race` — a dynamic
+  :class:`RaceAuditor` recording same-timestamp tie groups, reserved-slot
+  provenance and per-stream RNG draw counts, plus the double-run
+  ``repro check --race`` harness that executes committed scenarios under
+  different ``PYTHONHASHSEED`` values and localizes the first divergent
+  event.
 
-Both are exposed through ``python -m repro check`` and, for the linter
+All are exposed through ``python -m repro check`` and, for the linter
 alone, ``python -m repro.checks``.
 """
 
+from repro.checks.auditor import RaceAuditor
 from repro.checks.linter import (
     Finding,
     lint_file,
     lint_paths,
+    lint_paths_detailed,
     lint_source,
+    lint_source_detailed,
 )
 from repro.checks.monitor import (
     CheckedHooks,
@@ -27,6 +36,7 @@ from repro.checks.monitor import (
     SafetyMonitor,
     Violation,
 )
+from repro.checks.race import race_check, race_scenarios
 from repro.checks.rules import RULES, Rule, get_rule
 
 __all__ = [
@@ -34,11 +44,16 @@ __all__ = [
     "Finding",
     "InvariantViolation",
     "RULES",
+    "RaceAuditor",
     "Rule",
     "SafetyMonitor",
     "Violation",
     "get_rule",
     "lint_file",
     "lint_paths",
+    "lint_paths_detailed",
     "lint_source",
+    "lint_source_detailed",
+    "race_check",
+    "race_scenarios",
 ]

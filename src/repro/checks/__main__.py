@@ -8,7 +8,7 @@ hooks that only want the determinism linter.
 import os
 import sys
 
-from repro.checks.linter import lint_paths
+from repro.checks.linter import lint_paths_detailed
 from repro.checks.report import format_findings_text
 
 
@@ -23,11 +23,12 @@ def main(argv=None):
         print("repro.checks: no such path: {}".format(", ".join(missing)),
               file=sys.stderr)
         return 2
-    findings = lint_paths(argv)
+    findings, suppressed = lint_paths_detailed(argv)
     if findings:
-        print(format_findings_text(findings))
+        print(format_findings_text(findings, suppressed))
         return 1
-    print("lint: clean")
+    note = " ({} suppressed)".format(len(suppressed)) if suppressed else ""
+    print("lint: clean{}".format(note))
     return 0
 
 

@@ -1,12 +1,24 @@
-"""The ``repro check`` subcommand: static lint + dynamic invariants.
+"""The ``repro check`` subcommand: static lint, invariants, race audit.
 
-* ``repro check --lint [paths...]`` — run the determinism linter; exits 1
-  when any finding survives suppression.
+* ``repro check --lint [paths...]`` — run the determinism linter.
 * ``repro check --invariants`` — run short seeded simulations of the
   gossip and semantic setups with a :class:`SafetyMonitor` armed and
-  report every invariant violation; exits 1 on any.
-* ``repro check`` — both passes.
+  report every invariant violation.
+* ``repro check --race SCENARIO`` — double-run determinism race audit:
+  execute a committed scenario under different ``PYTHONHASHSEED`` values
+  and report the first divergent event with tie-break and RNG-stream
+  provenance (repeatable; ``--race all`` covers every committed
+  scenario). See docs/static-analysis.md.
+* ``repro check`` — lint + invariants.
 * ``--json`` — machine-readable report on stdout instead of text.
+
+Exit codes (identical for the text and JSON reporters):
+
+* **0** — clean: no lint findings, no invariant violations, no race
+  divergence. Suppressed findings (``# repro: allow-*``) are counted in
+  the report but never affect the exit code.
+* **1** — at least one finding, violation or divergent race scenario.
+* **2** — usage error (nonexistent lint path, unknown race scenario).
 
 The lint pass imports nothing outside the stdlib-backed checks package,
 so it stays usable even when simulation dependencies are unavailable.
@@ -15,12 +27,18 @@ so it stays usable even when simulation dependencies are unavailable.
 import os
 import sys
 
-from repro.checks.linter import lint_paths
+from repro.checks.linter import lint_paths_detailed
 from repro.checks.report import (
     format_findings_text,
+    format_race_text,
     format_violations_text,
     report_to_json,
 )
+
+#: Documented exit codes; both reporters return exactly these.
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_USAGE = 2
 
 #: Setups exercised by the invariant pass: classic gossip stresses
 #: reordering/duplication, semantic adds filtering + aggregation.
@@ -36,7 +54,7 @@ def _default_lint_paths():
 
 def _run_lint(args):
     paths = args.paths or _default_lint_paths()
-    return lint_paths(paths)
+    return lint_paths_detailed(paths)
 
 
 def _run_invariants(args):
@@ -64,46 +82,107 @@ def _run_invariants(args):
     return violations, summaries
 
 
+def _resolve_race_names(requested):
+    """Expand/validate ``--race`` values; (names, error message)."""
+    from repro.checks.race import SYNTHETIC, race_scenarios
+
+    known = race_scenarios()
+    names = []
+    for name in requested:
+        if name == "all":
+            # The synthetic planted-hazard fixture exists to fail; "all"
+            # means "everything that must audit clean".
+            names.extend(n for n in known
+                         if n != SYNTHETIC and n not in names)
+        elif name not in known:
+            return None, ("unknown race scenario {!r}; known: {}"
+                          .format(name, ", ".join(known)))
+        elif name not in names:
+            names.append(name)
+    return names, None
+
+
+def _run_race(args):
+    from repro.checks.race import race_check_many
+
+    hash_seeds = None
+    if args.hash_seeds:
+        hash_seeds = [int(s) for s in args.hash_seeds.split(",")]
+        if len(hash_seeds) < 2:
+            raise ValueError("--hash-seeds needs at least two seeds")
+    return race_check_many(args.race, hash_seeds=hash_seeds)
+
+
 def cmd_check(args):
     """Entry point for ``repro check``; returns the process exit code."""
-    do_lint = args.lint or not args.invariants
-    do_invariants = args.invariants or not args.lint
+    do_race = bool(args.race)
+    do_lint = args.lint or not (args.invariants or do_race)
+    do_invariants = args.invariants or not (args.lint or do_race)
 
     missing = sorted(path for path in args.paths if not os.path.exists(path))
     if missing:
         print("repro check: no such path: {}".format(", ".join(missing)),
               file=sys.stderr)
-        return 2
+        return EXIT_USAGE
 
-    findings = _run_lint(args) if do_lint else None
+    race_reports = None
+    if do_race:
+        names, error = _resolve_race_names(args.race)
+        if error:
+            print("repro check: {}".format(error), file=sys.stderr)
+            return EXIT_USAGE
+        args.race = names
+
+    findings, suppressed = (None, None)
+    if do_lint:
+        findings, suppressed = _run_lint(args)
     violations, summaries = (None, None)
     if do_invariants:
         violations, summaries = _run_invariants(args)
+    if do_race:
+        try:
+            race_reports = _run_race(args)
+        except ValueError as exc:
+            print("repro check: {}".format(exc), file=sys.stderr)
+            return EXIT_USAGE
+
+    race_diverged = race_reports is not None and any(
+        not report["ok"] for report in race_reports)
 
     if args.json:
         extra = {"invariant_runs": summaries} if summaries else None
-        print(report_to_json(findings, violations, extra=extra))
+        print(report_to_json(findings, violations, suppressed=suppressed,
+                             race=race_reports, extra=extra))
     else:
         if findings:
-            print(format_findings_text(findings))
+            print(format_findings_text(findings, suppressed))
         elif findings is not None:
-            print("lint: clean")
+            note = (" ({} suppressed)".format(len(suppressed))
+                    if suppressed else "")
+            print("lint: clean{}".format(note))
         if violations:
             print(format_violations_text(violations))
         elif violations is not None:
             decided = sum(s["instances_decided"] for s in summaries.values())
             print("invariants: clean ({} runs, {} instances decided)".format(
                 len(summaries), decided))
-    return 1 if findings or violations else 0
+        if race_reports is not None:
+            print(format_race_text(race_reports))
+    if findings or violations or race_diverged:
+        return EXIT_FINDINGS
+    return EXIT_CLEAN
 
 
 def add_check_parser(sub):
     """Register the ``check`` subcommand on an argparse subparsers object."""
     p = sub.add_parser(
         "check",
-        help="determinism lint + Paxos safety invariant monitor",
-        description="Static determinism lint over Python sources and/or "
-                    "dynamic Paxos safety invariants over seeded runs.",
+        help="determinism lint + safety invariants + race audit",
+        description="Static determinism lint over Python sources, dynamic "
+                    "Paxos safety invariants over seeded runs, and/or a "
+                    "double-run determinism race audit of committed "
+                    "scenarios. Exit codes: 0 clean, 1 findings/violations/"
+                    "divergence, 2 usage error.",
     )
     p.add_argument("paths", nargs="*",
                    help="files/directories to lint (default: the repro "
@@ -112,6 +191,13 @@ def add_check_parser(sub):
                    help="run only the static determinism linter")
     p.add_argument("--invariants", action="store_true",
                    help="run only the dynamic safety invariant pass")
+    p.add_argument("--race", action="append", metavar="SCENARIO",
+                   help="double-run race audit of a committed scenario "
+                        "(repeatable; 'all' = every scenario that must "
+                        "audit clean)")
+    p.add_argument("--hash-seeds", default=None,
+                   help="comma-separated PYTHONHASHSEED values for --race "
+                        "(default 0,1,2; first is the base run)")
     p.add_argument("--json", action="store_true",
                    help="emit a machine-readable JSON report")
     p.add_argument("--seed", type=int, default=1,

@@ -14,23 +14,29 @@ statically.
 
 
 class Rule:
-    """One lint rule: identifier, summary, and path exemptions.
+    """One lint rule: identifier, summary, and path scoping.
 
     ``exempt_fragments`` are path fragments (posix-style) for which the rule
     does not apply — e.g. the named-stream module is the one legitimate home
-    of ``random.Random``.
+    of ``random.Random``. ``only_fragments``, when non-empty, *restricts*
+    the rule to paths containing one of the fragments — used by the
+    hot-path rules that would be noise in analysis or tooling code.
     """
 
-    __slots__ = ("id", "summary", "exempt_fragments")
+    __slots__ = ("id", "summary", "exempt_fragments", "only_fragments")
 
-    def __init__(self, id_, summary, exempt_fragments=()):
+    def __init__(self, id_, summary, exempt_fragments=(), only_fragments=()):
         self.id = id_
         self.summary = summary
         self.exempt_fragments = tuple(exempt_fragments)
+        self.only_fragments = tuple(only_fragments)
 
     def applies_to(self, path):
         """Whether the rule is armed for ``path`` (posix-normalized)."""
         normalized = str(path).replace("\\", "/")
+        if self.only_fragments and not any(
+                fragment in normalized for fragment in self.only_fragments):
+            return False
         return not any(fragment in normalized for fragment in self.exempt_fragments)
 
     def __repr__(self):
@@ -66,6 +72,44 @@ MUTABLE_DEFAULT = Rule(
     "mutable default argument; shared state leaks across calls",
 )
 
+#: Path fragments of the event-scheduling hot paths: the packages whose
+#: iteration order can reach the simulator's heap within one event.
+HOT_PATH_FRAGMENTS = (
+    "repro/sim/", "repro/gossip/", "repro/paxos/", "repro/raft/",
+    "repro/net/",
+)
+
+HOT_SET_ITERATION = Rule(
+    "hot-set-iteration",
+    "iteration over a set-typed variable in a simulation hot path; "
+    "order is hash-dependent",
+    only_fragments=HOT_PATH_FRAGMENTS,
+)
+
+IDENTITY_TIE_BREAK = Rule(
+    "identity-tie-break",
+    "id()/hash() inside a heap entry or sort key; object identity is "
+    "not stable across runs",
+)
+
+UNRESERVED_TIE = Rule(
+    "unreserved-tie",
+    "zero-delay/at-now schedule() creates a same-timestamp event "
+    "tie-broken by push order; reserve a slot or use a real delay",
+)
+
+MODULE_MUTABLE_STATE = Rule(
+    "module-mutable-state",
+    "mutable module-level state; spawn workers each mutate their own "
+    "copy, so results silently diverge from the parent's",
+)
+
+UNPICKLABLE_TASK = Rule(
+    "unpicklable-task",
+    "lambda passed to the process-pool executor; it cannot pickle, so "
+    "the run silently degrades to the serial path",
+)
+
 #: All rules, in reporting order. dict preserves insertion order and gives
 #: O(1) lookup by id for the suppression parser.
 RULES = {
@@ -76,6 +120,11 @@ RULES = {
         SET_ITERATION,
         UNSTABLE_SORT_KEY,
         MUTABLE_DEFAULT,
+        HOT_SET_ITERATION,
+        IDENTITY_TIE_BREAK,
+        UNRESERVED_TIE,
+        MODULE_MUTABLE_STATE,
+        UNPICKLABLE_TASK,
     )
 }
 

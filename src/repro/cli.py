@@ -10,8 +10,10 @@ Exposes the experiment harness without writing Python:
 * ``chaos``       — seeded fault scenarios with the safety monitor armed
                     (see docs/faults.md); exits non-zero on a safety or
                     liveness-after-heal failure.
-* ``check``       — determinism lint + Paxos safety invariant monitor
-                    (see docs/static-analysis.md).
+* ``check``       — determinism lint, Paxos safety invariant monitor,
+                    and the double-run determinism race audit
+                    (``check --race SCENARIO``); see
+                    docs/static-analysis.md.
 * ``perf``        — the simulator microbenchmarks (events/sec, scheduled
                     kernel events, peak memory, report fingerprints; see
                     benchmarks/perf for the committed baseline and gate).

@@ -36,8 +36,7 @@ class Overlay:
         self.n = n
         self.edges = frozenset(frozenset(e) for e in edges)
         adjacency = {i: set() for i in range(n)}
-        for edge in self.edges:
-            a, b = tuple(edge)
+        for a, b in sorted(tuple(sorted(edge)) for edge in self.edges):
             adjacency[a].add(b)
             adjacency[b].add(a)
         #: peers per process, sorted for determinism.

@@ -46,3 +46,14 @@ SCENARIOS = {
     # Fig. 8: classic gossip pushed past saturation.
     "fig8_saturation": lambda: _config("gossip", 800, duration=0.4),
 }
+
+#: Regression configurations that are *not* perf-benchmarked but share the
+#: fixed-seed discipline: the A/B fingerprint suite and the race audit run
+#: them alongside the figure scenarios. ``agg_heavy`` is the configuration
+#: on which PR 4's tie-break hazard surfaced (filtering off, send queues
+#: backed up, so pump-batch grouping is sensitive to same-instant ties).
+REGRESSION_SCENARIOS = {
+    "agg_heavy": lambda: _config("semantic", 300, n=27,
+                                 enable_filtering=False,
+                                 duration=0.15, drain=1.0),
+}

@@ -58,7 +58,10 @@ class Deployment:
         """Schedule startup: every process at t=0 (the coordinator runs
         Phase 1, backups arm failover timers if configured), then clients."""
         for process in self.processes:
-            self.sim.schedule(0.0, process.start)
+            # Startup is order-insensitive by design: process.start only
+            # arms per-process timers, and the list order is the fixed
+            # process-id order, so the push-order tie at t=0 is stable.
+            self.sim.schedule(0.0, process.start)  # repro: allow-unreserved-tie
         for node in self.nodes:
             start = getattr(node, "start", None)
             if start is not None:
@@ -95,10 +98,16 @@ def _make_dedup(config):
     return RecentlySeenCache(config.cache_capacity)
 
 
-def build_deployment(config):
-    """Construct the simulated system described by ``config``."""
+def build_deployment(config, auditor=None):
+    """Construct the simulated system described by ``config``.
+
+    ``auditor`` (a :class:`repro.checks.auditor.RaceAuditor`) arms the
+    simulator's event/RNG instrumentation for the whole run, including the
+    t=0 startup events scheduled here; it never changes what the run
+    computes.
+    """
     n = config.n
-    sim = Simulator(config.seed)
+    sim = Simulator(config.seed, auditor=auditor)
     topology = Topology(n)
     collector = MetricsCollector()
     loss_injector = (

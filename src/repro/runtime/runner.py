@@ -4,8 +4,8 @@ from repro.runtime.deployment import build_deployment
 from repro.runtime.metrics import build_report
 
 
-def _execute(config, monitor):
-    deployment = build_deployment(config)
+def _execute(config, monitor, auditor=None):
+    deployment = build_deployment(config, auditor=auditor)
     if monitor is not None:
         # Armed before start so the monitor observes every message of the
         # run, including the coordinator's t=0 Phase 1a.
@@ -17,7 +17,7 @@ def _execute(config, monitor):
     return deployment
 
 
-def run_experiment(config, monitor=None):
+def run_experiment(config, monitor=None, auditor=None):
     """Build, run and measure one experiment; returns a MetricsReport.
 
     Parameters
@@ -27,15 +27,19 @@ def run_experiment(config, monitor=None):
         with ``attach(deployment)``/``finalize()``) armed for the run.
         Invariants are checked online; in the monitor's strict mode the
         first violation raises from inside the offending simulated event.
+    auditor:
+        Optional :class:`repro.checks.auditor.RaceAuditor` wired into the
+        simulator at construction; records tie groups, RNG draw counts and
+        the execution trace without perturbing the run.
     """
-    return build_report(_execute(config, monitor))
+    return build_report(_execute(config, monitor, auditor))
 
 
-def run_deployment(config, monitor=None):
+def run_deployment(config, monitor=None, auditor=None):
     """Like :func:`run_experiment` but returns the finished deployment too.
 
     Useful for tests and analyses that need to inspect internal state
     (per-node caches, learner counters, link statistics).
     """
-    deployment = _execute(config, monitor)
+    deployment = _execute(config, monitor, auditor)
     return deployment, build_report(deployment)

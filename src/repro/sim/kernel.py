@@ -21,11 +21,23 @@ class Simulator:
     ----------
     seed:
         Root seed; all named RNG streams (see :meth:`rng`) derive from it.
+    auditor:
+        Optional :class:`repro.checks.auditor.RaceAuditor` (or anything with
+        its ``make_queue``/``make_stream`` interface) that observes every
+        scheduled event and RNG draw. Opt-in and zero-cost when ``None``:
+        the only difference is which queue class and stream factory the
+        constructor binds — no per-event branch exists on the hot path.
     """
 
-    def __init__(self, seed=0):
+    def __init__(self, seed=0, auditor=None):
         self.seed = seed
-        self._queue = EventQueue()
+        if auditor is None:
+            self._queue = EventQueue()
+            self._stream_factory = make_stream
+        else:
+            self._queue = auditor.make_queue()
+            self._stream_factory = auditor.make_stream
+            auditor.bind(self)
         #: Allocate a tie-breaking slot for a possible future event; the
         #: returned sequence number is passed to :meth:`schedule_at_reserved`.
         #: Gossip senders call this once per transmission so a lazily-armed
@@ -64,7 +76,7 @@ class Simulator:
         """Return the RNG for the named stream, creating it on first use."""
         stream = self._rngs.get(name)
         if stream is None:
-            stream = make_stream(self.seed, name)
+            stream = self._stream_factory(self.seed, name)
             self._rngs[name] = stream
         return stream
 

@@ -22,3 +22,35 @@ def stream_seed(root_seed, name):
 def make_stream(root_seed, name):
     """Return a ``random.Random`` seeded for the given named stream."""
     return random.Random(stream_seed(root_seed, name))
+
+
+class CountingStream(random.Random):
+    """A named-stream RNG that counts its raw draws.
+
+    Seeded exactly as :func:`make_stream` seeds a plain stream, and counts
+    every entry point a draw can funnel through: ``random()``
+    (uniform/expovariate/gauss/...) and ``getrandbits()``
+    (randrange/choice/shuffle/sample via ``_randbelow``). The counter
+    never touches generator state, so a counted stream yields the
+    bit-identical sequence a plain one yields — which is what lets the
+    race auditor diff draw counts between paired runs without perturbing
+    either run.
+    """
+
+    def __init__(self, root_seed, name):
+        super().__init__(stream_seed(root_seed, name))
+        self.stream_name = name
+        self.draws = 0
+
+    def random(self):
+        self.draws += 1
+        return super().random()
+
+    def getrandbits(self, k):
+        self.draws += 1
+        return super().getrandbits(k)
+
+
+def make_counting_stream(root_seed, name):
+    """A :func:`make_stream`-compatible factory that counts draws."""
+    return CountingStream(root_seed, name)

@@ -52,13 +52,71 @@ def test_missing_path_is_a_clean_usage_error(tmp_path, capsys):
     assert "no such path" in capsys.readouterr().err
 
 
-def test_suppressed_fixture_is_clean(tmp_path):
+def test_suppressed_fixture_is_clean(tmp_path, capsys):
     fixture = tmp_path / "fixture.py"
     fixture.write_text(
         "import time  # repro: allow-wall-clock\n"
         "t = time.time()  # repro: allow-wall-clock\n"
     )
     assert main(["check", "--lint", str(fixture)]) == 0
+    assert "lint: clean (1 suppressed)" in capsys.readouterr().out
+
+
+def test_suppressions_counted_in_json(tmp_path, capsys):
+    fixture = tmp_path / "fixture.py"
+    fixture.write_text(
+        "import time\n"
+        "t = time.time()  # repro: allow-wall-clock\n"
+    )
+    assert main(["check", "--lint", "--json", str(fixture)]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["clean"] is True          # suppressions never fail a run
+    assert payload["lint"]["count"] == 0
+    assert payload["lint"]["suppressed"] == 1
+    assert payload["lint"]["suppressions"][0]["rule"] == "wall-clock"
+    assert payload["lint"]["suppressions"][0]["line"] == 2
+
+
+def test_new_rules_reachable_from_cli(tmp_path, capsys):
+    fixture = tmp_path / "fixture.py"
+    fixture.write_text("def f(sim, cb): sim.schedule(0, cb)\n")
+    assert main(["check", "--lint", str(fixture)]) == 1
+    assert "unreserved-tie" in capsys.readouterr().out
+
+
+def test_unknown_race_scenario_is_a_usage_error(capsys):
+    assert main(["check", "--race", "nope"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown race scenario" in err
+    assert "synthetic-tiebreak" in err
+
+
+def test_bad_hash_seeds_is_a_usage_error(capsys):
+    assert main(["check", "--race", "synthetic-tiebreak",
+                 "--hash-seeds", "7"]) == 2
+    assert "at least two seeds" in capsys.readouterr().err
+
+
+def test_race_divergence_exits_one_text_and_json(capsys):
+    # Text reporter.
+    assert main(["check", "--race", "synthetic-tiebreak"]) == 1
+    out = capsys.readouterr().out
+    assert "DIVERGED" in out
+    assert "0/1 scenario clean" in out
+    # JSON reporter: same exit code, machine-readable envelope.
+    assert main(["check", "--race", "synthetic-tiebreak", "--json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["clean"] is False
+    assert payload["race"]["diverged"] == 1
+    assert payload["race"]["reports"][0]["scenario"] == "synthetic-tiebreak"
+    assert payload["race"]["reports"][0]["divergence"]["tie_group"]["hazard"]
+
+
+def test_race_clean_pair_exits_zero(capsys):
+    code = main(["check", "--race", "synthetic-tiebreak",
+                 "--hash-seeds", "0,0"])
+    assert code == 0
+    assert "clean across hash seeds 0,0" in capsys.readouterr().out
 
 
 def test_invariants_pass_on_seeded_run(capsys):

@@ -4,7 +4,7 @@ import os
 import textwrap
 
 import repro
-from repro.checks.linter import lint_paths, lint_source
+from repro.checks.linter import lint_paths, lint_source, lint_source_detailed
 from repro.checks.rules import RULES, get_rule
 
 
@@ -141,14 +141,14 @@ def test_for_over_set_literal_flagged():
 
 
 def test_comprehension_over_set_call_flagged():
-    findings = lint("xs = [x for x in set(items)]\n")
+    findings = lint("def f(items): return [x for x in set(items)]\n")
     assert rule_ids(findings) == ["set-iteration"]
 
 
 def test_set_comprehension_source_flagged_but_not_target():
     # Building a set is fine; iterating one inside the generators is not.
-    assert lint("s = {x for x in items}\n") == []
-    findings = lint("s = [y for y in {x for x in items}]\n")
+    assert lint("def f(items): return {x for x in items}\n") == []
+    findings = lint("def f(items): return [y for y in {x for x in items}]\n")
     assert rule_ids(findings) == ["set-iteration"]
 
 
@@ -193,6 +193,153 @@ def test_none_default_not_flagged():
     assert lint("def f(xs=None, k=3, name='x'): return xs\n") == []
 
 
+# -- hot-set-iteration -----------------------------------------------------
+
+HOT_PATH = "src/repro/sim/example.py"
+
+
+def test_set_variable_iteration_flagged_in_hot_path():
+    source = """
+        def f(items):
+            pending = set(items)
+            for x in pending:
+                print(x)
+        """
+    findings = lint(source, path=HOT_PATH)
+    assert rule_ids(findings) == ["hot-set-iteration"]
+    assert "sorted(pending)" in findings[0].message
+
+
+def test_self_set_attribute_iteration_flagged_in_hot_path():
+    source = """
+        class Node:
+            def __init__(self):
+                self.peers = set()
+
+            def fanout(self):
+                return [p for p in self.peers]
+        """
+    findings = lint(source, path=HOT_PATH)
+    assert rule_ids(findings) == ["hot-set-iteration"]
+    assert "self.peers" in findings[0].message
+
+
+def test_set_variable_iteration_not_flagged_outside_hot_path():
+    source = """
+        def f(items):
+            pending = set(items)
+            for x in pending:
+                print(x)
+        """
+    assert lint(source, path="src/repro/analysis/example.py") == []
+
+
+def test_rebound_variable_not_flagged():
+    source = """
+        def f(items):
+            pending = set(items)
+            pending = sorted(pending)
+            for x in pending:
+                print(x)
+        """
+    assert lint(source, path=HOT_PATH) == []
+
+
+def test_sorted_generator_over_set_is_order_safe():
+    source = """
+        def f(edges):
+            s = set(edges)
+            return sorted(tuple(sorted(e)) for e in s)
+        """
+    assert lint(source, path=HOT_PATH) == []
+
+
+# -- identity-tie-break ----------------------------------------------------
+
+def test_id_inside_heappush_entry_flagged():
+    source = """
+        import heapq
+
+        def push(heap, t, item):
+            heapq.heappush(heap, (t, id(item), item))
+        """
+    findings = lint(source)
+    assert rule_ids(findings) == ["identity-tie-break"]
+    assert "heappush" in findings[0].message
+
+
+def test_hash_deep_in_sort_key_lambda_flagged():
+    findings = lint(
+        "def f(xs): return sorted(xs, key=lambda x: (x.t, hash(x)))\n")
+    assert rule_ids(findings) == ["identity-tie-break"]
+
+
+def test_plain_heappush_entry_not_flagged():
+    source = """
+        import heapq
+
+        def push(heap, t, seq, item):
+            heapq.heappush(heap, (t, seq, item))
+        """
+    assert lint(source) == []
+
+
+# -- unreserved-tie --------------------------------------------------------
+
+def test_schedule_zero_delay_flagged():
+    assert rule_ids(lint(
+        "def f(sim, cb): sim.schedule(0, cb)\n")) == ["unreserved-tie"]
+    assert rule_ids(lint(
+        "def f(sim, cb): sim.schedule(0.0, cb)\n")) == ["unreserved-tie"]
+
+
+def test_schedule_at_now_flagged():
+    findings = lint("def f(sim, cb): sim.schedule_at(sim.now, cb)\n")
+    assert rule_ids(findings) == ["unreserved-tie"]
+
+
+def test_positive_delay_and_reserved_not_flagged():
+    assert lint("def f(sim, cb): sim.schedule(0.1, cb)\n") == []
+    assert lint(
+        "def f(sim, cb, slot): sim.schedule_at_reserved(slot, cb)\n") == []
+
+
+# -- module-mutable-state --------------------------------------------------
+
+def test_module_level_mutable_flagged():
+    assert rule_ids(lint("_cache = {}\n")) == ["module-mutable-state"]
+    assert rule_ids(lint("pending = []\n")) == ["module-mutable-state"]
+
+
+def test_module_level_constants_and_dunders_exempt():
+    assert lint("SCENARIOS = {}\n") == []
+    assert lint("__all__ = ['f']\n") == []
+
+
+def test_function_and_class_level_mutables_not_flagged():
+    assert lint("def f():\n    cache = {}\n    return cache\n") == []
+    assert lint("class C:\n    registry = {}\n") == []
+
+
+# -- unpicklable-task ------------------------------------------------------
+
+def test_lambda_to_parallel_map_flagged():
+    findings = lint(
+        "def f(xs): return parallel_map(lambda x: x + 1, xs)\n")
+    assert rule_ids(findings) == ["unpicklable-task"]
+
+
+def test_lambda_monitor_factory_flagged():
+    findings = lint(
+        "def f(cfgs): return run_experiments("
+        "cfgs, monitor_factory=lambda: None)\n")
+    assert rule_ids(findings) == ["unpicklable-task"]
+
+
+def test_named_function_task_not_flagged():
+    assert lint("def f(xs): return parallel_map(double, xs)\n") == []
+
+
 # -- suppression -----------------------------------------------------------
 
 def test_allow_comment_suppresses_rule_on_that_line():
@@ -233,6 +380,16 @@ def test_allow_comment_on_other_line_does_not_suppress():
     assert rule_ids(findings) == ["wall-clock"]
 
 
+def test_detailed_lint_reports_suppressed_findings():
+    findings, suppressed = lint_source_detailed(
+        "import time\nt = time.time()  # repro: allow-wall-clock\n",
+        path="src/repro/example.py",
+    )
+    assert findings == []                             # nothing survives
+    assert rule_ids(suppressed) == ["wall-clock"]     # the silenced call
+    assert suppressed[0].line == 2
+
+
 # -- file/tree walking -----------------------------------------------------
 
 def test_syntax_error_is_reported_not_swallowed():
@@ -263,6 +420,8 @@ def test_rule_registry_lookup():
     assert set(RULES) == {
         "global-random", "wall-clock", "set-iteration",
         "unstable-sort-key", "mutable-default",
+        "hot-set-iteration", "identity-tie-break", "unreserved-tie",
+        "module-mutable-state", "unpicklable-task",
     }
     try:
         get_rule("nope")

@@ -18,7 +18,7 @@ to loosen this gate.
 import pytest
 
 from repro.analysis.fingerprint import report_fingerprint
-from repro.perf.scenarios import SCENARIOS, _config
+from repro.perf.scenarios import REGRESSION_SCENARIOS, SCENARIOS
 from repro.runtime.runner import run_experiment
 from repro.sim.server import legacy_servers
 
@@ -50,7 +50,4 @@ def test_aggregation_heavy_report_identical():
     two batches the reference pumped separately — caught here as a
     busy-time divergence even though message flow is identical.
     """
-    _assert_ab_identical(
-        "aggregation_heavy",
-        _config("semantic", 300, n=27, enable_filtering=False,
-                duration=0.15, drain=1.0))
+    _assert_ab_identical("agg_heavy", REGRESSION_SCENARIOS["agg_heavy"]())

@@ -78,8 +78,9 @@ def test_parallel_map_serial_path_matches():
 
 def test_parallel_map_unpicklable_fn_falls_back_serially():
     state = []
+    # The lambda is the point: this test exercises the serial fallback.
     results = parallel_map(lambda x: state.append(x) or x, [1, 2, 3],
-                           workers=4)
+                           workers=4)  # repro: allow-unpicklable-task
     assert results == [1, 2, 3]
     # The closure ran in this process: the fallback really was serial.
     assert state == [1, 2, 3]
