@@ -57,7 +57,11 @@ from repro.net.faults.events import (
     GrayFailure,
     Crash,
     RegionOutage,
+    Join,
+    Leave,
+    Rejoin,
 )
+from repro.membership import MembershipConfig, MembershipService
 from repro.sim.kernel import Simulator
 
 __all__ = [
@@ -103,5 +107,10 @@ __all__ = [
     "GrayFailure",
     "Crash",
     "RegionOutage",
+    "Join",
+    "Leave",
+    "Rejoin",
+    "MembershipConfig",
+    "MembershipService",
     "Simulator",
 ]

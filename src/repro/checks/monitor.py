@@ -12,7 +12,11 @@ while the simulation runs:
   and its accepted round per instance never decreases;
 * **quorum** — every decided value is backed by Phase 2b votes from a
   majority of distinct acceptors in some round (checked at
-  :meth:`finalize`, once all votes have been observed);
+  :meth:`finalize`, once all votes have been observed). Under dynamic
+  membership the check is **epoch-aware**: each ballot is stamped with the
+  membership epoch in force when it is first observed, and its quorum is
+  judged against that epoch's member set and majority — votes from
+  processes that were not members of the ballot's epoch do not count;
 * **aggregation-reversibility** — semantic aggregation neither loses nor
   invents votes: flattening a send batch through ``disaggregate`` before
   and after ``aggregate`` yields the same multiset of message uids
@@ -116,6 +120,10 @@ class SafetyMonitor:
         self._check_quorum = True
         self._finalized = False
         self._deployment = None
+        #: MembershipView under dynamic membership (None = static quorums).
+        self._view = None
+        #: (instance, round) -> membership epoch at first observation.
+        self._ballot_epochs = {}
 
     # -- wiring ------------------------------------------------------------
 
@@ -127,6 +135,8 @@ class SafetyMonitor:
         # family emits; Raft decisions are checked for agreement only.
         self._check_quorum = config.protocol == "paxos"
         self._deployment = deployment
+        membership = getattr(deployment, "membership", None)
+        self._view = membership.view if membership is not None else None
         for node, process in zip(deployment.nodes, deployment.processes):
             self._instrument_node(node, process)
             self._instrument_delivery(process)
@@ -176,6 +186,11 @@ class SafetyMonitor:
         self.messages_observed += 1
         uid = getattr(payload, "uid", None)
         kind = uid[0] if isinstance(uid, tuple) and uid else None
+        if self._view is not None and kind in ("2A", "2B", "A2B"):
+            # Stamp the ballot with the membership epoch in force when it
+            # is first seen; finalize() judges its quorum in that epoch.
+            self._ballot_epochs.setdefault(
+                (payload.instance, payload.round), self._view.epoch)
         if kind == "2B":
             self.record_vote(payload.sender, payload.instance,
                              payload.round, payload.value_id)
@@ -315,9 +330,19 @@ class SafetyMonitor:
         return self.violations
 
     def _has_quorum(self, instance, value_id):
-        for (vote_instance, _, vote_value), voters in self._votes.items():
-            if (vote_instance == instance and vote_value == value_id
-                    and len(voters) >= self.majority):
+        view = self._view
+        for (vote_instance, round_, vote_value), voters in self._votes.items():
+            if vote_instance != instance or vote_value != value_id:
+                continue
+            if view is not None:
+                epoch = self._ballot_epochs.get((instance, round_))
+                if epoch is not None:
+                    members = view.epoch_members(epoch)
+                    if (len(voters & members)
+                            >= view.epoch_majority(epoch)):
+                        return True
+                    continue
+            if len(voters) >= self.majority:
                 return True
         return False
 

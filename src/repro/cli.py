@@ -189,7 +189,14 @@ def cmd_chaos(args):
         run_scenario_task,
     )
 
-    names = list(SCENARIOS) if args.scenario == "all" else [args.scenario]
+    names = (list(SCENARIOS) if args.scenario == "all"
+             else args.scenario.split(","))
+    unknown = [name for name in names if name not in SCENARIOS]
+    if unknown:
+        print("unknown scenario(s) {}; known: {}".format(
+            ", ".join(repr(name) for name in unknown),
+            ", ".join(SCENARIOS)), file=sys.stderr)
+        return 2
     setups = SETUPS if args.setups == "all" else tuple(args.setups.split(","))
     seeds = [int(s) for s in args.seeds.split(",")]
     # Lay the table out first, then fan all runnable (scenario, setup,
@@ -227,11 +234,12 @@ def cmd_chaos(args):
             len(result.missing),
             "{}/{}".format(result.report.decided,
                            result.report.submitted),
-            result.report.messages.retransmissions,
+            "{}+{}".format(result.report.messages.retransmissions_loss,
+                           result.report.messages.retransmissions_election),
         ])
     print(format_table(
         ["scenario", "setup", "seed", "status", "violations",
-         "missing", "decided", "retransmits"],
+         "missing", "decided", "retransmits loss+elec"],
         rows, title="chaos: safety always, liveness after heal"))
     if failed:
         print("{} scenario run(s) FAILED".format(failed), file=sys.stderr)
@@ -334,7 +342,8 @@ def build_parser():
 
     p = sub.add_parser("chaos", help="seeded fault scenarios + safety monitor")
     p.add_argument("--scenario", default="all",
-                   help='scenario name or "all" (see docs/faults.md)')
+                   help='scenario name, comma-separated list, or "all" '
+                        '(see docs/faults.md)')
     p.add_argument("--setups", default="all",
                    help='comma-separated setups or "all"')
     p.add_argument("--seeds", default="1", help="comma-separated seeds")

@@ -19,10 +19,13 @@ from repro.net.faults import (
     GilbertElliottLossInjector,
     GrayFailure,
     Heal,
+    Join,
+    Leave,
     LinkLoss,
     Partition,
     ReceiverLossInjector,
     RegionOutage,
+    Rejoin,
 )
 from repro.net.faults.chaos import (
     SCENARIOS,
@@ -52,10 +55,13 @@ __all__ = [
     "GilbertElliottLossInjector",
     "GrayFailure",
     "Heal",
+    "Join",
+    "Leave",
     "LinkLoss",
     "Partition",
     "ReceiverLossInjector",
     "RegionOutage",
+    "Rejoin",
     "SCENARIOS",
     "Scenario",
     "chaos_config",

@@ -299,6 +299,10 @@ class GossipNode(Actor):
             self, peer_id, link, self._send_queue_capacity
         )
 
+    def remove_peer(self, peer_id):
+        """Drop a peer (overlay repair); queued sends to it are lost."""
+        self._senders.pop(peer_id, None)
+
     def peers(self):
         return list(self._senders)
 

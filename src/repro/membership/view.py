@@ -1,0 +1,152 @@
+"""The epoch-stamped membership record.
+
+A :class:`MembershipView` tracks, per process, its membership state and
+incarnation number, and stamps every membership *change* (join, leave,
+rejoin, dead declaration) with a monotonically increasing **epoch**. The
+per-epoch member sets are kept for the whole run so the safety monitor can
+check each ballot's quorum against the membership in force when the ballot
+was issued (epoch-aware quorums, docs/membership.md).
+
+States:
+
+* ``ALIVE``  — a member believed up;
+* ``SUSPECT`` — a member some observer has not heard from for the
+  suspicion timeout; still a member (suspicion is observer-local and does
+  not bump the epoch);
+* ``DEAD``  — declared dead by a dead report; no longer a member;
+* ``LEFT``  — departed gracefully; no longer a member;
+* ``OUT``   — never joined (outside ``initial_members``).
+"""
+
+ALIVE = "alive"
+SUSPECT = "suspect"
+DEAD = "dead"
+LEFT = "left"
+OUT = "out"
+
+#: States in which a process counts as a cluster member.
+MEMBER_STATES = (ALIVE, SUSPECT)
+
+
+class MembershipView:
+    """Authoritative membership state plus the per-epoch member log."""
+
+    __slots__ = ("n", "epoch", "_state", "_incarnation", "_epoch_members",
+                 "_epoch_started")
+
+    def __init__(self, n, initial_members=None):
+        self.n = n
+        initial = (tuple(range(n)) if initial_members is None
+                   else tuple(sorted(initial_members)))
+        initial_set = set(initial)
+        self._state = {
+            pid: (ALIVE if pid in initial_set else OUT) for pid in range(n)
+        }
+        self._incarnation = {pid: 0 for pid in range(n)}
+        self.epoch = 0
+        self._epoch_members = [frozenset(initial)]
+        self._epoch_started = [0.0]
+
+    # -- queries -----------------------------------------------------------
+
+    def state(self, pid):
+        return self._state[pid]
+
+    def incarnation(self, pid):
+        return self._incarnation[pid]
+
+    def is_member(self, pid):
+        return self._state[pid] in MEMBER_STATES
+
+    def members(self):
+        """Current members as a frozenset (the current epoch's set)."""
+        return self._epoch_members[self.epoch]
+
+    def alive_members(self):
+        """Sorted tuple of members currently in the ALIVE state."""
+        return tuple(pid for pid in range(self.n)
+                     if self._state[pid] == ALIVE)
+
+    def majority(self):
+        """Quorum size over the current epoch's membership."""
+        return self.epoch_majority(self.epoch)
+
+    def epoch_members(self, epoch):
+        """The member set in force during ``epoch``."""
+        return self._epoch_members[epoch]
+
+    def epoch_majority(self, epoch):
+        """floor(|members|/2) + 1 over ``epoch``'s member set."""
+        return len(self._epoch_members[epoch]) // 2 + 1
+
+    def epoch_started_at(self, epoch):
+        return self._epoch_started[epoch]
+
+    # -- transitions -------------------------------------------------------
+
+    def _bump(self, now):
+        members = frozenset(pid for pid in range(self.n)
+                            if self._state[pid] in MEMBER_STATES)
+        self.epoch += 1
+        self._epoch_members.append(members)
+        self._epoch_started.append(now)
+
+    def mark_join(self, pid, now):
+        """A never-member process joins; epoch advances."""
+        if self.is_member(pid):
+            raise ValueError("process {} is already a member".format(pid))
+        self._state[pid] = ALIVE
+        self._bump(now)
+
+    def mark_leave(self, pid, now):
+        """A member departs gracefully; epoch advances."""
+        if not self.is_member(pid):
+            raise ValueError("process {} is not a member".format(pid))
+        self._state[pid] = LEFT
+        self._bump(now)
+
+    def mark_rejoin(self, pid, now):
+        """A departed/dead/crashed member returns with a fresh incarnation."""
+        self._incarnation[pid] += 1
+        self._state[pid] = ALIVE
+        self._bump(now)
+        return self._incarnation[pid]
+
+    def mark_dead(self, pid, incarnation, now):
+        """Apply a dead report; returns True when it changed the view.
+
+        Stale reports — for a past incarnation (the subject already
+        rejoined) or for a process that is no longer a member — are
+        ignored.
+        """
+        if not self.is_member(pid):
+            return False
+        if incarnation < self._incarnation[pid]:
+            return False
+        self._state[pid] = DEAD
+        self._bump(now)
+        return True
+
+    def mark_suspect(self, pid):
+        """Record suspicion; the process stays a member, no epoch bump."""
+        if self._state[pid] == ALIVE:
+            self._state[pid] = SUSPECT
+
+    def clear_suspect(self, pid):
+        """A suspected member proved alive again."""
+        if self._state[pid] == SUSPECT:
+            self._state[pid] = ALIVE
+
+    # -- reporting ---------------------------------------------------------
+
+    def epochs(self):
+        """(epoch, started_at, sorted member tuple) rows for reports."""
+        return [
+            (epoch, self._epoch_started[epoch],
+             tuple(sorted(self._epoch_members[epoch])))
+            for epoch in range(self.epoch + 1)
+        ]
+
+    def __repr__(self):
+        return "MembershipView(epoch={}, members={})".format(
+            self.epoch, sorted(self.members()))

@@ -28,9 +28,12 @@ from repro.net.faults.events import (
     FaultPlan,
     GrayFailure,
     Heal,
+    Join,
+    Leave,
     LinkLoss,
     Partition,
     RegionOutage,
+    Rejoin,
 )
 from repro.net.faults.loss import (
     GilbertElliottLossInjector,
@@ -49,8 +52,11 @@ __all__ = [
     "GilbertElliottLossInjector",
     "GrayFailure",
     "Heal",
+    "Join",
+    "Leave",
     "LinkLoss",
     "Partition",
     "ReceiverLossInjector",
     "RegionOutage",
+    "Rejoin",
 ]

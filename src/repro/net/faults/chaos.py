@@ -28,6 +28,7 @@ The harness asserts the contract **safety always, liveness after heal**:
 """
 
 from repro.checks.monitor import SafetyMonitor
+from repro.membership import MembershipConfig
 from repro.net.faults.events import (
     BurstLoss,
     ClearBurstLoss,
@@ -35,7 +36,10 @@ from repro.net.faults.events import (
     FaultPlan,
     GrayFailure,
     Heal,
+    Join,
+    Leave,
     Partition,
+    Rejoin,
 )
 from repro.runtime.config import SETUPS, ExperimentConfig
 from repro.runtime.runner import run_deployment
@@ -164,6 +168,86 @@ def _build_gray_coordinator(config, rng):
     )
 
 
+def _churn_membership(initial_members):
+    """Membership timings fast enough for the chaos workload window.
+
+    Detection plus re-election must complete well inside the measured
+    workload so the liveness gate has a post-heal population to assert.
+    """
+    return MembershipConfig(
+        heartbeat_interval=0.04,
+        suspicion_timeout=0.15,
+        dead_timeout=0.3,
+        initial_members=initial_members,
+        election_backoff=0.15,
+        election_backoff_max=0.6,
+        election_jitter=0.03,
+    )
+
+
+def _build_membership_churn(config, rng):
+    """Join, graceful leave and rejoin on the fault timeline.
+
+    The cluster starts with processes ``0..n-2``; ``n-1`` joins mid
+    workload, a random non-coordinator member leaves gracefully (overlay
+    repaired, quorum shrinks by an epoch), then the leaver rejoins with a
+    bumped incarnation. The leader never dies, so this exercises the view
+    and overlay machinery without an election.
+    """
+    n = config.n
+    joiner = n - 1
+    initial = tuple(range(n - 1))
+    leaver = rng.choice(
+        [pid for pid in initial if pid != config.coordinator_id])
+    t_join = config.warmup + rng.uniform(0.20, 0.30) * config.duration
+    t_leave = config.warmup + rng.uniform(0.40, 0.50) * config.duration
+    t_rejoin = config.warmup + rng.uniform(0.65, 0.75) * config.duration
+    plan = FaultPlan([
+        (t_join, Join(joiner)),
+        (t_leave, Leave(leaver)),
+        (t_rejoin, Rejoin(leaver)),
+    ])
+    return ScenarioRun(
+        config.replace(faults=plan, membership=_churn_membership(initial)),
+        fault_start=t_join - IN_FLIGHT_GUARD_S,
+        heal_at=t_rejoin + 0.3,
+        # The joiner's process is down until t_join, so its colocated
+        # client's pre-fault submissions are legitimately lost.
+        excluded_clients=(joiner,),
+    )
+
+
+def _build_leader_churn_rejoin(config, rng):
+    """Crash the leader; heartbeats detect it and elect a successor.
+
+    Unlike ``coordinator-crash`` (fixed failover timeout), detection and
+    re-election run through the membership layer's suspicion/dead-report
+    pipeline; the dead leader later rejoins with a bumped incarnation and
+    the view readmits it under the elected successor.
+    """
+    membership = _churn_membership(tuple(range(config.n)))
+    t_crash = config.warmup + rng.uniform(0.10, 0.20) * config.duration
+    t_rejoin = config.warmup + rng.uniform(0.70, 0.80) * config.duration
+    plan = FaultPlan([
+        (t_crash, Crash(config.coordinator_id)),
+        (t_rejoin, Rejoin(config.coordinator_id)),
+    ])
+    # Silence -> dead report -> election backoff (+ jitter) -> the
+    # successor's Phase 1; allow one WAN round trip on top before the
+    # liveness gate expects progress.
+    heal_at = max(
+        t_rejoin + IN_FLIGHT_GUARD_S,
+        t_crash + membership.dead_timeout + membership.election_backoff
+        + membership.election_jitter + 0.45,
+    )
+    return ScenarioRun(
+        config.replace(faults=plan, membership=membership),
+        fault_start=t_crash - IN_FLIGHT_GUARD_S,
+        heal_at=heal_at,
+        excluded_clients=(config.coordinator_id,),
+    )
+
+
 #: The canonical seeded scenarios, in reporting order.
 SCENARIOS = {
     scenario.name: scenario
@@ -177,6 +261,13 @@ SCENARIOS = {
                  summary="Gilbert-Elliott loss bursts at Fig. 6 rates"),
         Scenario("gray-coordinator", _build_gray_coordinator,
                  summary="coordinator CPU slows 10-25x but stays alive"),
+        Scenario("membership-churn", _build_membership_churn,
+                 setups=("gossip", "semantic"),
+                 summary="join, graceful leave with overlay repair, rejoin"),
+        Scenario("leader-churn-rejoin", _build_leader_churn_rejoin,
+                 setups=("gossip", "semantic"),
+                 summary="leader dies; heartbeat election; dead leader "
+                         "rejoins"),
     )
 }
 

@@ -103,6 +103,9 @@ class FaultEngine:
         self._loss_rng = sim.rng("chaos-link-loss")
         self._burst_rng = sim.rng("chaos-burst")
         self._installed = False
+        #: The deployment's MembershipService when membership is
+        #: configured; Join/Leave/Rejoin events delegate to it.
+        self.membership = None
 
     # -- wiring --------------------------------------------------------------
 
@@ -121,6 +124,21 @@ class FaultEngine:
                                         link.loss_hook)
         for at, event in self.plan:
             self.sim.schedule_at(at, self._apply, event)
+
+    def adopt_pair(self, a, b):
+        """Interpose on the ``a <-> b`` links created after install().
+
+        Overlay repair creates links lazily for joiners; adopting them
+        keeps chaos loss, burst and partition rules uniform across the
+        whole overlay.
+        """
+        if not self._installed:
+            return
+        for src, dst in ((a, b), (b, a)):
+            link = self.transports[src].link_to(dst)
+            if isinstance(link.loss_hook, _ChaosHook):
+                continue
+            link.loss_hook = _ChaosHook(self, src, dst, link.loss_hook)
 
     def _apply(self, event):
         self.stats.injections[event.kind] = (
@@ -224,3 +242,20 @@ class FaultEngine:
     def region_outage(self, region, duration=None):
         for pid in self.topology.processes_in_region(region):
             self.crash(pid, duration)
+
+    # -- membership churn ----------------------------------------------------
+
+    def _require_membership(self, kind):
+        if self.membership is None:
+            raise RuntimeError(
+                "{} event requires membership to be configured".format(kind))
+        return self.membership
+
+    def membership_join(self, process_id):
+        self._require_membership("join").join(process_id)
+
+    def membership_leave(self, process_id):
+        self._require_membership("leave").leave(process_id)
+
+    def membership_rejoin(self, process_id):
+        self._require_membership("rejoin").rejoin(process_id)

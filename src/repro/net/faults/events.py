@@ -23,6 +23,15 @@ Event catalogue (the WAN failure modes of ISSUE §4.5 and beyond):
 * :class:`Crash` / :class:`RegionOutage` — full-process outages through the
   :class:`repro.runtime.crashes.CrashController`, for one process or every
   process hosted in a region.
+* :class:`Join` / :class:`Leave` / :class:`Rejoin` — membership churn
+  through the :class:`repro.membership.service.MembershipService`; these
+  require ``ExperimentConfig(membership=...)``.
+
+:meth:`FaultPlan.validate` walks the whole timeline and rejects plans whose
+events reference processes that are not cluster members at the event's
+time — a crash aimed at a node that already left, a join for a process
+that was already a member — so misconfigured plans fail loudly at config
+time instead of silently doing nothing mid-run.
 """
 
 from repro.net import regions as _regions
@@ -265,6 +274,112 @@ class RegionOutage(FaultEvent):
         return "region={} duration={}".format(self.region, self.duration)
 
 
+class MembershipEvent(FaultEvent):
+    """Base class of churn events; needs the membership layer configured."""
+
+    def __init__(self, process_id):
+        self.process_id = process_id
+
+    def validate(self, n):
+        _check_process("process_id", self.process_id, n)
+
+    def describe(self):
+        return "process={}".format(self.process_id)
+
+
+class Join(MembershipEvent):
+    """A process outside ``initial_members`` enters the cluster.
+
+    The joiner registers with the seed members, opens deterministic k-out
+    overlay edges and announces itself; use :class:`Rejoin` for a process
+    that has been a member before (it needs an incarnation bump).
+    """
+
+    kind = "join"
+
+    def apply(self, engine):
+        engine.membership_join(self.process_id)
+
+
+class Leave(MembershipEvent):
+    """A member departs gracefully: announce, drain, overlay teardown."""
+
+    kind = "leave"
+
+    def apply(self, engine):
+        engine.membership_leave(self.process_id)
+
+
+class Rejoin(MembershipEvent):
+    """A departed, dead or crashed member returns with a new incarnation."""
+
+    kind = "rejoin"
+
+    def apply(self, engine):
+        engine.membership_rejoin(self.process_id)
+
+
+def _validate_timeline(entries, n, membership):
+    """Walk the plan chronologically, tracking who is a member when.
+
+    Raises ValueError for events referencing processes that cannot be
+    targeted at their scheduled time — the satellite-1 guarantee that a
+    plan aimed at unknown or absent nodes fails at config time rather than
+    silently no-op'ing.
+    """
+    if membership is None:
+        members = set(range(n))
+    else:
+        members = set(membership.members_at_start(n))
+    ever = set(members)
+    crashed = set()
+
+    def check_member(what, pid, at):
+        if pid not in members:
+            raise ValueError(
+                "{} targets process {} which is not a cluster member at "
+                "t={} (members: {})".format(what, pid, at, sorted(members)))
+
+    for at, event in entries:
+        if isinstance(event, MembershipEvent):
+            if membership is None:
+                raise ValueError(
+                    "{} event at t={} requires membership to be configured "
+                    "(ExperimentConfig(membership=MembershipConfig(...)))"
+                    .format(event.kind, at))
+            pid = event.process_id
+            if isinstance(event, Join):
+                if pid in ever:
+                    raise ValueError(
+                        "Join at t={}: process {} has already been a member; "
+                        "use Rejoin".format(at, pid))
+                members.add(pid)
+                ever.add(pid)
+            elif isinstance(event, Leave):
+                check_member("Leave", pid, at)
+                members.discard(pid)
+                crashed.discard(pid)
+            else:  # Rejoin
+                if pid not in ever:
+                    raise ValueError(
+                        "Rejoin at t={}: process {} has never been a member; "
+                        "use Join".format(at, pid))
+                members.add(pid)
+                crashed.discard(pid)
+        elif isinstance(event, Crash):
+            check_member("Crash", event.process_id, at)
+            crashed.add(event.process_id)
+        elif isinstance(event, GrayFailure):
+            check_member("GrayFailure", event.process_id, at)
+        elif isinstance(event, LinkLoss):
+            check_member("LinkLoss", event.src, at)
+            check_member("LinkLoss", event.dst, at)
+        elif isinstance(event, Partition):
+            for group in event.groups:
+                for pid in group:
+                    check_member("Partition", pid, at)
+
+
 class FaultPlan:
     """An ordered timeline of ``(at, event)`` entries.
 
@@ -298,10 +413,18 @@ class FaultPlan:
         normalized.sort(key=lambda entry: entry[0])
         self.entries = tuple(normalized)
 
-    def validate(self, n):
-        """Validate every event against system size ``n``; returns self."""
+    def validate(self, n, membership=None):
+        """Validate the plan against system size ``n``; returns self.
+
+        Beyond per-event parameter checks, the whole timeline is walked
+        with membership tracked (``membership`` is the experiment's
+        :class:`repro.membership.config.MembershipConfig`, or ``None`` for
+        a fixed cluster): events referencing processes that are not
+        members at the event's time raise ValueError.
+        """
         for _, event in self.entries:
             event.validate(n)
+        _validate_timeline(self.entries, n, membership)
         return self
 
     def __iter__(self):

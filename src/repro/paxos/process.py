@@ -45,13 +45,19 @@ class ProcessStats:
     """Per-process consensus-level counters."""
 
     __slots__ = ("values_submitted", "values_forwarded", "decisions_delivered",
-                 "messages_handled")
+                 "messages_handled", "election_retransmissions",
+                 "election_reproposals")
 
     def __init__(self):
         self.values_submitted = 0
         self.values_forwarded = 0
         self.decisions_delivered = 0
         self.messages_handled = 0
+        #: Retransmissions issued by a coordinator born from takeover or
+        #: election — attributed separately from loss-triggered ones.
+        self.election_retransmissions = 0
+        #: In-flight values re-proposed by a takeover/elected coordinator.
+        self.election_reproposals = 0
 
 
 class PaxosProcess(Actor):
@@ -103,10 +109,20 @@ class PaxosProcess(Actor):
         self._heartbeat_seq = 0
         self._last_progress = 0.0
         self._max_seen_round = 1
-        #: in-flight client values observed via gossip (failover only):
-        #: re-proposed by a takeover coordinator so they are not lost.
+        #: in-flight client values observed via gossip (failover/election
+        #: only): re-proposed by a takeover coordinator so they are not lost.
         self._seen_values = {}
         self._decided_value_ids = set()
+        #: Whether to track in-flight values for re-proposal; on by default
+        #: under failover, switched on by the membership layer's election.
+        self._track_values = failover_timeout is not None
+        #: Whether the current coordinator role was assumed by takeover or
+        #: election (its retransmissions count as election-triggered).
+        self._election_born = False
+
+    def enable_value_tracking(self):
+        """Track in-flight values so an elected successor can re-propose."""
+        self._track_values = True
 
     def start(self):
         """Begin operation; the coordinator launches Phase 1."""
@@ -151,6 +167,28 @@ class PaxosProcess(Actor):
         crash-recovery model assumes stable storage (paper §2.1)."""
         self.alive = False
 
+    def step_down(self):
+        """Abdicate the coordinator role (membership rejoin under an
+        elected successor).
+
+        A stale competing coordinator would be *safe* — rounds are unique
+        per process — but every proposal it re-issues in its outdated round
+        is rejected by acceptors promised to the successor, so it would
+        retransmit forever. Pending proposals are abandoned: the successor
+        re-proposed every in-flight value it observed at takeover.
+        """
+        if self.coordinator is None:
+            return
+        self.is_coordinator = False
+        self._election_born = False
+        self.coordinator = None
+        if self._retransmit_timer is not None:
+            self._retransmit_timer.stop()
+            self._retransmit_timer = None
+        if self._heartbeat_timer is not None:
+            self._heartbeat_timer.stop()
+            self._heartbeat_timer = None
+
     def recover(self):
         self.alive = True
 
@@ -189,7 +227,7 @@ class PaxosProcess(Actor):
         elif kind is Decision:
             self._on_decided(self.learner.on_decision(payload))
         elif kind is ClientValue:
-            if self.failover_timeout is not None:
+            if self._track_values:
                 value = payload.value
                 if value.value_id not in self._decided_value_ids:
                     self._seen_values[value.value_id] = value
@@ -226,7 +264,7 @@ class PaxosProcess(Actor):
             watermark = ready[-1][0]
             self.acceptor.forget_up_to(watermark)
             self.learner.forget_up_to(watermark)
-            if self.failover_timeout is not None:
+            if self._track_values:
                 for _, ready_value in ready:
                     self._decided_value_ids.add(ready_value.value_id)
                     self._seen_values.pop(ready_value.value_id, None)
@@ -242,7 +280,11 @@ class PaxosProcess(Actor):
         if not self.alive:
             return
         if self.coordinator is not None and self.retransmit_timeout is not None:
+            before = self.coordinator.retransmissions
             self.coordinator.check_timeouts(self.now, self.retransmit_timeout)
+            if self._election_born:
+                self.stats.election_retransmissions += (
+                    self.coordinator.retransmissions - before)
 
     # -- coordinator failover ----------------------------------------------------
 
@@ -259,8 +301,22 @@ class PaxosProcess(Actor):
         rank = (self.process_id - self.coordinator_id) % self.n
         if self.now - self._last_progress < self.failover_timeout * rank:
             return
+        self.take_over()
+
+    def take_over(self):
+        """Assume the coordinator role in a fresh, higher round.
+
+        Invoked by the rank-staggered failover timer above and by the
+        membership layer's heartbeat-driven election. Returns True when the
+        role was assumed; False when this process is dead or already
+        coordinating. Concurrent takeovers are safe regardless — rounds are
+        unique per process and Paxos tolerates competing coordinators.
+        """
+        if not self.alive or self.coordinator is not None:
+            return False
         self.takeovers += 1
         self.is_coordinator = True
+        self._election_born = True
         generation = (self._max_seen_round - 1) // self.n + 1
         round_ = generation * self.n + self.process_id + 1
         self.coordinator = Coordinator(
@@ -276,5 +332,7 @@ class PaxosProcess(Actor):
         # already decided in an instance this process has not learned yet
         # may be proposed again — the classic at-least-once duplicate the
         # replicated state machine deduplicates by value id.
+        self.stats.election_reproposals += len(self._seen_values)
         for value in list(self._seen_values.values()):
             self.coordinator.on_client_value(value, self.now)
+        return True

@@ -10,6 +10,8 @@ equivalence suite re-runs them on the event-per-job reference servers
 and demands identical report fingerprints.
 """
 
+from repro.membership import MembershipConfig
+from repro.net.faults.events import Crash, FaultPlan, Join, Leave, Rejoin
 from repro.runtime.config import ExperimentConfig
 
 #: Overlay used by every scenario: fixed so the harness is self-contained
@@ -47,13 +49,51 @@ SCENARIOS = {
     "fig8_saturation": lambda: _config("gossip", 800, duration=0.4),
 }
 
+def _membership(n_initial, **overrides):
+    timings = dict(
+        heartbeat_interval=0.04,
+        suspicion_timeout=0.15,
+        dead_timeout=0.3,
+        initial_members=tuple(range(n_initial)),
+        election_backoff=0.15,
+        election_backoff_max=0.6,
+        election_jitter=0.03,
+    )
+    timings.update(overrides)
+    return MembershipConfig(**timings)
+
+
+def _churn_smoke():
+    """Join + graceful leave + rejoin with the membership layer live.
+
+    Fixed fault times (no chaos stream): regression factories must be
+    zero-argument and fully determined, like every other entry here.
+    """
+    plan = FaultPlan([(0.55, Join(8)), (0.80, Leave(5)), (1.10, Rejoin(5))])
+    return _config("semantic", 60, n=9, warmup=0.3, drain=2.5,
+                   retransmit_timeout=0.25, faults=plan,
+                   membership=_membership(8))
+
+
+def _churn_leader():
+    """Leader crash detected by heartbeats; elected successor; rejoin."""
+    plan = FaultPlan([(0.50, Crash(0)), (1.20, Rejoin(0))])
+    return _config("gossip", 40, n=7, warmup=0.3, drain=2.5,
+                   retransmit_timeout=0.25, faults=plan,
+                   membership=_membership(7))
+
+
 #: Regression configurations that are *not* perf-benchmarked but share the
 #: fixed-seed discipline: the A/B fingerprint suite and the race audit run
 #: them alongside the figure scenarios. ``agg_heavy`` is the configuration
 #: on which PR 4's tie-break hazard surfaced (filtering off, send queues
 #: backed up, so pump-batch grouping is sensitive to same-instant ties).
+#: The churn entries put the membership layer (heartbeats, dead reports,
+#: overlay repair, heartbeat-driven election) under the same race audit.
 REGRESSION_SCENARIOS = {
     "agg_heavy": lambda: _config("semantic", 300, n=27,
                                  enable_filtering=False,
                                  duration=0.15, drain=1.0),
+    "churn_smoke": _churn_smoke,
+    "churn_leader": _churn_leader,
 }

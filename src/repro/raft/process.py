@@ -32,7 +32,8 @@ from repro.sim.actors import Actor
 class RaftStats:
     __slots__ = ("values_submitted", "values_forwarded",
                  "decisions_delivered", "messages_handled",
-                 "commits_by_acks", "commits_by_notice", "retransmissions")
+                 "commits_by_acks", "commits_by_notice", "retransmissions",
+                 "elections", "election_retransmissions")
 
     def __init__(self):
         self.values_submitted = 0
@@ -42,6 +43,11 @@ class RaftStats:
         self.commits_by_acks = 0
         self.commits_by_notice = 0
         self.retransmissions = 0
+        #: New-term elections this process started (membership layer).
+        self.elections = 0
+        #: Re-floods of uncommitted entries by a freshly elected leader —
+        #: election-triggered, counted apart from loss-triggered ones.
+        self.election_retransmissions = 0
 
 
 class _PendingReplication:
@@ -97,9 +103,40 @@ class RaftProcess(Actor):
             self.voted_for[1] = self.process_id
             self._votes = {self.process_id}
             self.comm.broadcast(RequestVote(1, self.process_id))
-            if self.retransmit_timeout is not None:
-                self._retransmit_timer = self.every(
-                    self.retransmit_timeout / 2.0, self._check_timeouts)
+            self._start_retransmit_timer()
+
+    def _start_retransmit_timer(self):
+        if self.retransmit_timeout is not None and self._retransmit_timer is None:
+            self._retransmit_timer = self.every(
+                self.retransmit_timeout / 2.0, self._check_timeouts)
+
+    def start_election(self):
+        """Stand for a fresh term (the membership layer's re-election path).
+
+        Bumps the term, votes for self and solicits votes carrying the
+        log's last (index, term) so stale candidates are refused. Returns
+        True when the election was started (False while crashed).
+        """
+        if not self.alive:
+            return False
+        self.stats.elections += 1
+        self.current_term += 1
+        term = self.current_term
+        self.is_leader_candidate = True
+        self.is_leader = False
+        self.voted_for[term] = self.process_id
+        self._votes = {self.process_id}
+        last_index = self.log.last_index
+        self.comm.broadcast(RequestVote(
+            term, self.process_id, last_index, self.log.term_of(last_index)))
+        self._start_retransmit_timer()
+        return True
+
+    def step_down(self):
+        """Renounce any leader/candidate role (higher term, or a rejoin)."""
+        self.is_leader = False
+        self.is_leader_candidate = False
+        self._votes = set()
 
     def stop(self):
         if self._retransmit_timer is not None:
@@ -184,6 +221,16 @@ class RaftProcess(Actor):
             return
         if msg.term > self.current_term:
             self.current_term = msg.term
+            self.step_down()
+        if msg.term > 1:
+            # Log up-to-dateness guard (Raft §5.4.1), applied to the
+            # membership layer's re-elections; the startup election (term 1)
+            # precedes all log activity, so the legacy unguarded behaviour
+            # is preserved for fixed-membership runs.
+            last_index = self.log.last_index
+            if ((msg.last_log_term, msg.last_log_index)
+                    < (self.log.term_of(last_index), last_index)):
+                return
         already = self.voted_for.get(msg.term)
         if already is not None and already != msg.candidate:
             return
@@ -203,20 +250,61 @@ class RaftProcess(Actor):
             # manage to ack (they may have missed the very first entry).
             for follower in range(self.n):
                 self._follower_contig.setdefault(follower, 0)
+            if self.current_term > 1:
+                self._readopt_uncommitted()
             while self._pending_values:
                 self._replicate(self._pending_values.popleft())
+
+    def _readopt_uncommitted(self):
+        """Re-flood stored-but-uncommitted entries under the new term.
+
+        A freshly elected leader finishes its predecessor's in-flight
+        entries: each is re-broadcast with a fresh attempt tag (so gossip
+        dedup floods it again) and re-acked under the new term, letting a
+        new-term quorum form. Counted as election retransmissions.
+        """
+        for index in range(self.log.commit_index + 1, self.log.last_index + 1):
+            if not self.log.has(index):
+                break
+            entry = self.log.entries[index]
+            attempt = self._next_ae_attempt(index)
+            self.stats.retransmissions += 1
+            self.stats.election_retransmissions += 1
+            if index not in self._replicating:
+                self._replicating[index] = _PendingReplication(entry, self.now)
+            self.comm.phase2b(AppendAck(
+                self.current_term, index, self.process_id, attempt))
+            self._count_ack(self.current_term, index, self.process_id)
+            self.comm.broadcast(AppendEntries(
+                self.current_term, self.process_id, index - 1,
+                self.log.term_of(index - 1), entry, self.log.commit_index,
+                attempt,
+            ))
 
     def _on_append_entries(self, msg):
         if msg.term < self.current_term:
             return
         if msg.term > self.current_term:
             self.current_term = msg.term
+            self.step_down()
         uid_attempt = msg.uid[3]
-        for index in self.log.store(msg.entry):
+        stored = self.log.store(msg.entry)
+        for index in stored:
             # Ack each newly contiguous entry (includes buffered ones).
             ack = AppendAck(msg.term, index, self.process_id, uid_attempt)
             self.comm.phase2b(ack)
             self._count_ack(msg.term, index, self.process_id)
+        if (not stored and msg.term > 1
+                and msg.entry.index > self.log.commit_index
+                and self.log.has(msg.entry.index)):
+            # A new-term leader re-flooding an entry this process already
+            # stored in an earlier term: re-ack under the new term so the
+            # new-term quorum can form (gated past term 1, keeping the
+            # fixed-membership single-term runs byte-identical).
+            ack = AppendAck(msg.term, msg.entry.index, self.process_id,
+                            uid_attempt)
+            self.comm.phase2b(ack)
+            self._count_ack(msg.term, msg.entry.index, self.process_id)
         if self.log.advance_commit(msg.leader_commit):
             self.stats.commits_by_notice += 1
         self._deliver_ready()

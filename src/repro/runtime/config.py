@@ -11,6 +11,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.gossip.node import GossipCosts
+from repro.membership.config import MembershipConfig
 from repro.net.channel import LinkConfig
 from repro.net.faults.events import FaultPlan
 
@@ -55,6 +56,11 @@ class ExperimentConfig:
     #: (at, FaultEvent) entries, applied by the fault engine (docs/faults.md).
     #: Composes with loss_rate / crashes / retransmit / failover.
     faults: tuple = ()
+    #: Dynamic membership (docs/membership.md): heartbeats, suspicion-based
+    #: failure detection, Join/Leave/Rejoin churn and heartbeat-driven
+    #: leader election. None (the default) keeps the layer entirely out of
+    #: the run — fixed-membership results are bit-identical either way.
+    membership: Optional[MembershipConfig] = None
 
     # -- semantics (paper §3.2; toggles for the ablation study) -----------------
     enable_filtering: bool = True
@@ -109,10 +115,47 @@ class ExperimentConfig:
                     "failover needs broadcast communication; the Baseline "
                     "star dies with its hub"
                 )
+        self._validate_membership()
         self._validate_crashes()
         # Normalizing rejects malformed timelines (bad entry shapes, events
-        # referencing unknown processes/regions) at config time.
-        FaultPlan(self.faults).validate(self.n)
+        # referencing unknown processes/regions, churn aimed at processes
+        # that are not members at the event's time) at config time.
+        FaultPlan(self.faults).validate(self.n, membership=self.membership)
+
+    def _validate_membership(self):
+        if self.membership is None:
+            return
+        if self.setup == "baseline":
+            raise ValueError(
+                "membership needs broadcast dissemination; the Baseline "
+                "star has no overlay to repair"
+            )
+        if self.spaxos:
+            raise ValueError(
+                "membership leader election is implemented for plain "
+                "Paxos and Raft, not S-Paxos"
+            )
+        if self.failover_timeout is not None:
+            raise ValueError(
+                "membership replaces the fixed failover timeout with "
+                "heartbeat-driven election; set one or the other"
+            )
+        initial = self.membership.members_at_start(self.n)
+        for pid in initial:
+            if (not isinstance(pid, int) or isinstance(pid, bool)
+                    or not 0 <= pid < self.n):
+                raise ValueError(
+                    "initial member {!r} out of range for n={}".format(
+                        pid, self.n))
+        if self.coordinator_id not in initial:
+            raise ValueError(
+                "coordinator {} must be an initial member".format(
+                    self.coordinator_id))
+        if len(initial) < self.majority:
+            raise ValueError(
+                "initial membership ({} processes) cannot form a quorum "
+                "of n={} (needs >= {})".format(
+                    len(initial), self.n, self.majority))
 
     def _validate_crashes(self):
         """Reject malformed crash tuples before they reach the runtime."""

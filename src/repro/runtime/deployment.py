@@ -17,6 +17,7 @@ from repro.gossip.bloom import SlidingBloomFilter
 from repro.gossip.cache import RecentlySeenCache
 from repro.gossip.node import GossipNode
 from repro.gossip.strategies import PullGossipNode, PushPullGossipNode
+from repro.membership.service import MembershipService
 from repro.net.channel import DirectedLink
 from repro.net.faults.engine import FaultEngine
 from repro.net.faults.loss import ReceiverLossInjector
@@ -40,7 +41,7 @@ class Deployment:
 
     def __init__(self, config, sim, topology, overlay, transports, nodes,
                  processes, clients, collector, loss_injector,
-                 crash_controller=None, fault_engine=None):
+                 crash_controller=None, fault_engine=None, membership=None):
         self.config = config
         self.sim = sim
         self.topology = topology
@@ -53,6 +54,7 @@ class Deployment:
         self.loss_injector = loss_injector
         self.crash_controller = crash_controller
         self.fault_engine = fault_engine
+        self.membership = membership    # MembershipService or None
 
     def start(self):
         """Schedule startup: every process at t=0 (the coordinator runs
@@ -72,6 +74,8 @@ class Deployment:
             self.crash_controller.install()
         if self.fault_engine is not None:
             self.fault_engine.install()
+        if self.membership is not None:
+            self.membership.install()
 
     def run(self):
         """Run the simulation to the end of the configured horizon."""
@@ -116,6 +120,7 @@ def build_deployment(config, auditor=None):
     transports = [Transport(i) for i in range(n)]
 
     overlay = None
+    overlay_rng = None
     nodes = []
     communicators = []
 
@@ -219,9 +224,28 @@ def build_deployment(config, auditor=None):
         fault_engine = FaultEngine(sim, topology, transports, nodes,
                                    crash_controller, fault_plan)
 
+    membership = None
+    if config.membership is not None:
+        # Reuses the deployment's "overlay" stream so repair/join edges are
+        # a deterministic continuation of the initial overlay draw.
+        def _lazy_connect(a, b):
+            if b in transports[a].peers():
+                return False
+            _connect_pair(sim, config, topology, transports, a, b,
+                          loss_injector)
+            return True
+
+        membership = MembershipService(
+            sim, config, nodes, processes, overlay_rng, _lazy_connect,
+            crash_controller=crash_controller,
+        )
+        if fault_engine is not None:
+            fault_engine.membership = membership
+            membership.fault_engine = fault_engine
+
     return Deployment(config, sim, topology, overlay, transports, nodes,
                       processes, clients, collector, loss_injector,
-                      crash_controller, fault_engine)
+                      crash_controller, fault_engine, membership)
 
 
 def _make_notifier(sim, lan_delay_s, client):

@@ -91,6 +91,14 @@ class MessageStats:
         self.loss_injected = 0
         self.loss_examined = 0             # arrivals the loss hook inspected
         self.retransmissions = 0           # coordinator timeout re-issues
+        #: Subset of retransmissions issued by coordinators/leaders born
+        #: from takeover or election (the rest are loss-triggered; see the
+        #: retransmissions_loss property).
+        self.retransmissions_election = 0
+        #: In-flight values re-proposed by takeover/elected coordinators.
+        self.reproposals_election = 0
+        #: Membership-layer counters (empty without membership configured).
+        self.membership = {}
         self.cpu_utilization_mean = 0.0    # mean per-process CPU busy frac.
         self.cpu_utilization_max = 0.0     # the busiest process
         # -- link-level aggregates (sum over every directed link) -----------
@@ -105,6 +113,11 @@ class MessageStats:
         self.fault_link_loss_drops = 0
         self.fault_burst_drops = 0
         self.partition_windows = []        # [(started_at, healed_at|None)]
+
+    @property
+    def retransmissions_loss(self):
+        """Retransmissions not attributable to takeover/election churn."""
+        return self.retransmissions - self.retransmissions_election
 
     @property
     def duplicate_fraction(self):
@@ -269,6 +282,14 @@ def build_report(deployment):
         if process_stats is not None:
             stats.retransmissions += getattr(
                 process_stats, "retransmissions", 0)
+            stats.retransmissions_election += getattr(
+                process_stats, "election_retransmissions", 0)
+            stats.reproposals_election += getattr(
+                process_stats, "election_reproposals", 0)
+
+    membership = getattr(deployment, "membership", None)
+    if membership is not None:
+        stats.membership = membership.stats.to_dict()
 
     engine = getattr(deployment, "fault_engine", None)
     if engine is not None:

@@ -38,6 +38,31 @@ def test_report_identical_to_event_per_job_reference(name):
     _assert_ab_identical(name, SCENARIOS[name]())
 
 
+@pytest.mark.parametrize("name", ["churn_smoke", "churn_leader"])
+def test_churn_report_identical_to_event_per_job_reference(name):
+    """Membership churn under the same A/B gate as the figure scenarios.
+
+    Heartbeat fan-out, overlay repair and election scheduling all ride
+    the simulator's timer/link machinery, so a tie-break regression in
+    either server implementation would surface here as a report
+    divergence — exactly like the fixed-membership scenarios.
+    """
+    _assert_ab_identical(name, REGRESSION_SCENARIOS[name]())
+
+
+def test_membership_field_unconfigured_is_bitwise_inert():
+    """The membership *field* existing (as None) must not perturb a fixed
+    run: same seed, same report fingerprint, with the membership layer
+    compiled in but unconfigured. Guards the inert-when-unconfigured
+    contract at the report level (the perf baseline guards event counts).
+    """
+    config = SCENARIOS["fig7_overlay"]()
+    assert config.membership is None
+    first = report_fingerprint(run_experiment(config))
+    second = report_fingerprint(run_experiment(SCENARIOS["fig7_overlay"]()))
+    assert first == second
+
+
 def test_aggregation_heavy_report_identical():
     """Regression: merged vs split send batches under same-instant ties.
 

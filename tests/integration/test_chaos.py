@@ -65,8 +65,11 @@ def test_unsupported_scenario_setup_pair_rejected():
 def test_suite_skips_unsupported_pairs():
     results = run_chaos_suite(chaos_config(setup="baseline"), seeds=(1,))
     names = {result.scenario for result in results}
-    assert "coordinator-crash" not in names
-    assert names == set(SCENARIOS) - {"coordinator-crash"}
+    # Everything needing broadcast dissemination skips the baseline star.
+    gossip_only = {"coordinator-crash", "membership-churn",
+                   "leader-churn-rejoin"}
+    assert names & gossip_only == set()
+    assert names == set(SCENARIOS) - gossip_only
     assert all(result.ok for result in results)
 
 

@@ -1,0 +1,103 @@
+"""Config-time fault-timeline validation (the loud-failure guarantee).
+
+A plan aimed at processes that are unknown, not yet joined, or already
+departed must raise at ``ExperimentConfig`` construction — never silently
+no-op mid-run.
+"""
+
+import pytest
+
+from repro.membership import MembershipConfig
+from repro.net.faults.events import (
+    Crash,
+    FaultPlan,
+    GrayFailure,
+    Join,
+    Leave,
+    LinkLoss,
+    Partition,
+    Rejoin,
+)
+from tests.conftest import fast_config
+
+
+def _membership(n_initial=6):
+    return MembershipConfig(initial_members=tuple(range(n_initial)))
+
+
+def test_membership_events_require_membership_config():
+    with pytest.raises(ValueError, match="requires membership"):
+        fast_config(faults=FaultPlan([(0.5, Join(6))]))
+    with pytest.raises(ValueError, match="requires membership"):
+        fast_config(faults=FaultPlan([(0.5, Leave(3))]))
+
+
+def test_join_of_existing_member_rejected():
+    with pytest.raises(ValueError, match="use Rejoin"):
+        fast_config(membership=_membership(),
+                    faults=FaultPlan([(0.5, Join(3))]))
+
+
+def test_join_after_leave_rejected_in_favor_of_rejoin():
+    plan = FaultPlan([(0.5, Leave(3)), (1.0, Join(3))])
+    with pytest.raises(ValueError, match="use Rejoin"):
+        fast_config(membership=_membership(), faults=plan)
+
+
+def test_leave_of_non_member_rejected():
+    with pytest.raises(ValueError, match="not a cluster member"):
+        fast_config(membership=_membership(),
+                    faults=FaultPlan([(0.5, Leave(6))]))
+
+
+def test_double_leave_rejected():
+    plan = FaultPlan([(0.5, Leave(3)), (1.0, Leave(3))])
+    with pytest.raises(ValueError, match="not a cluster member"):
+        fast_config(membership=_membership(), faults=plan)
+
+
+def test_rejoin_of_never_member_rejected():
+    with pytest.raises(ValueError, match="use Join"):
+        fast_config(membership=_membership(),
+                    faults=FaultPlan([(0.5, Rejoin(6))]))
+
+
+def test_crash_of_not_yet_joined_process_rejected():
+    plan = FaultPlan([(0.5, Crash(6))])
+    with pytest.raises(ValueError, match="not a cluster member"):
+        fast_config(membership=_membership(), faults=plan)
+
+
+def test_fault_targeting_departed_member_rejected():
+    for event in (Crash(3), GrayFailure(3, 5.0), LinkLoss(3, 1, 0.5)):
+        plan = FaultPlan([(0.5, Leave(3)), (1.0, event)])
+        with pytest.raises(ValueError, match="not a cluster member"):
+            fast_config(membership=_membership(), faults=plan)
+
+
+def test_partition_of_departed_member_rejected():
+    plan = FaultPlan([(0.5, Leave(3)), (1.0, Partition([[0, 3]]))])
+    with pytest.raises(ValueError, match="not a cluster member"):
+        fast_config(membership=_membership(), faults=plan)
+
+
+def test_fault_after_join_accepted():
+    plan = FaultPlan([(0.5, Join(6)), (1.0, Crash(6)), (1.5, Rejoin(6))])
+    config = fast_config(membership=_membership(), faults=plan)
+    assert len(config.faults.entries) == 3
+
+
+def test_timeline_order_matters_not_declaration_order():
+    # Declared out of order; the plan sorts by time, so the Join at 0.4
+    # precedes the Crash at 1.0 and the plan validates.
+    plan = FaultPlan([(1.0, Crash(6)), (0.4, Join(6))])
+    config = fast_config(membership=_membership(), faults=plan)
+    assert [type(e).__name__ for _, e in config.faults.entries] == [
+        "Join", "Crash"]
+
+
+def test_static_plans_still_validate_without_membership():
+    config = fast_config(faults=FaultPlan([(0.5, Crash(3))]))
+    assert len(config.faults.entries) == 1
+    with pytest.raises(ValueError):
+        fast_config(faults=FaultPlan([(0.5, Crash(99))]))

@@ -1,0 +1,99 @@
+"""Unit tests for the epoch-stamped membership view."""
+
+import pytest
+
+from repro.membership import ALIVE, DEAD, LEFT, OUT, SUSPECT, MembershipView
+
+
+def test_initial_view_all_members():
+    view = MembershipView(5)
+    assert view.epoch == 0
+    assert view.members() == frozenset(range(5))
+    assert view.alive_members() == (0, 1, 2, 3, 4)
+    assert view.majority() == 3
+
+
+def test_initial_members_subset():
+    view = MembershipView(5, initial_members=(0, 1, 2))
+    assert view.members() == frozenset((0, 1, 2))
+    assert view.state(4) == OUT
+    assert not view.is_member(4)
+    assert view.majority() == 2
+
+
+def test_join_bumps_epoch():
+    view = MembershipView(5, initial_members=(0, 1, 2))
+    view.mark_join(3, now=1.0)
+    assert view.epoch == 1
+    assert view.members() == frozenset((0, 1, 2, 3))
+    assert view.epoch_members(0) == frozenset((0, 1, 2))
+    assert view.epoch_started_at(1) == 1.0
+    with pytest.raises(ValueError):
+        view.mark_join(3, now=1.1)    # already a member
+
+
+def test_leave_bumps_epoch_and_shrinks_quorum():
+    view = MembershipView(5)
+    view.mark_leave(4, now=0.5)
+    assert view.state(4) == LEFT
+    assert view.members() == frozenset(range(4))
+    assert view.epoch_majority(0) == 3
+    assert view.epoch_majority(1) == 3   # 4 members -> still 3
+    view.mark_leave(3, now=0.6)
+    assert view.epoch_majority(2) == 2
+    with pytest.raises(ValueError):
+        view.mark_leave(4, now=0.7)   # not a member any more
+
+
+def test_rejoin_bumps_incarnation():
+    view = MembershipView(3)
+    view.mark_leave(2, now=0.5)
+    assert view.incarnation(2) == 0
+    incarnation = view.mark_rejoin(2, now=1.0)
+    assert incarnation == 1
+    assert view.state(2) == ALIVE
+    assert view.members() == frozenset(range(3))
+
+
+def test_dead_report_evicts_member():
+    view = MembershipView(3)
+    assert view.mark_dead(1, incarnation=0, now=0.4)
+    assert view.state(1) == DEAD
+    assert view.members() == frozenset((0, 2))
+    assert view.epoch == 1
+
+
+def test_stale_dead_reports_ignored():
+    view = MembershipView(3)
+    view.mark_dead(1, incarnation=0, now=0.4)
+    view.mark_rejoin(1, now=1.0)      # incarnation 1
+    # A report from the previous life must not re-kill the member...
+    assert not view.mark_dead(1, incarnation=0, now=1.2)
+    assert view.state(1) == ALIVE
+    # ...and reports for non-members change nothing.
+    view.mark_leave(1, now=1.4)
+    assert not view.mark_dead(1, incarnation=1, now=1.5)
+    assert view.state(1) == LEFT
+
+
+def test_suspicion_is_reversible_and_epoch_free():
+    view = MembershipView(3)
+    view.mark_suspect(1)
+    assert view.state(1) == SUSPECT
+    assert view.is_member(1)          # suspects still count as members
+    assert view.epoch == 0            # no epoch bump
+    assert view.alive_members() == (0, 2)
+    view.clear_suspect(1)
+    assert view.state(1) == ALIVE
+
+
+def test_epoch_log_reports_full_history():
+    view = MembershipView(4, initial_members=(0, 1, 2))
+    view.mark_join(3, now=0.5)
+    view.mark_dead(1, incarnation=0, now=0.9)
+    rows = view.epochs()
+    assert rows == [
+        (0, 0.0, (0, 1, 2)),
+        (1, 0.5, (0, 1, 2, 3)),
+        (2, 0.9, (0, 2, 3)),
+    ]

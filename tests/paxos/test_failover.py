@@ -94,3 +94,53 @@ def test_staggered_ranks_prefer_lowest_backup():
                        if p.takeovers > 0)
     # The rank-1 process (id 1) should be among the first to take over.
     assert takeovers[0] == 1
+
+
+def test_crash_of_already_failed_over_coordinator():
+    """The takeover coordinator dies too; a third process takes over.
+
+    The second failover must start from the *new* round space — the
+    surviving processes observed the first takeover's round, so the third
+    coordinator's round must exceed both.
+    """
+    deployment, report = run_deployment(_failover_config(
+        crashes=((0, 1.0, None), (1, 2.0, None)),
+        duration=2.2, drain=5.0,
+    ))
+    survivors = [p for p in deployment.processes if p.process_id > 1]
+    second = [p for p in survivors if p.takeovers > 0]
+    assert second, "no third coordinator emerged after the second crash"
+    first_round = deployment.processes[1].coordinator.round
+    active = [p for p in second if p.coordinator is not None]
+    assert active
+    assert all(p.coordinator.round > first_round for p in active)
+    # Progress resumed after the second failover as well.
+    decided = max(len(p.learner.decided) for p in survivors)
+    assert decided > 40 * 2.0 * 0.5
+
+
+def test_coordinator_crash_at_t0_before_any_decision():
+    """The coordinator dies at t=0, before Phase 1 ever completes.
+
+    A backup must bootstrap consensus from nothing: no decisions exist,
+    no instance was ever started, and the learners' state is empty when
+    the takeover fires.
+    """
+    deployment, report = run_deployment(_failover_config(
+        crashes=((0, 0.0, None),),
+    ))
+    assert len(deployment.processes[0].learner.decided) == 0
+    takeovers = [p for p in deployment.processes if p.takeovers > 0]
+    assert takeovers, "no backup bootstrapped the crashed-at-birth cluster"
+    new_coordinator = takeovers[0]
+    assert new_coordinator.coordinator.phase1_complete
+    # The new coordinator starts at the very first instance (1) and the
+    # decided sequence is gap-free from there.
+    decided = new_coordinator.learner.decided
+    assert decided, "no value was ever ordered"
+    assert min(decided) == 1
+    assert sorted(decided) == list(range(1, len(decided) + 1))
+    # Live clients still get the vast majority of their values ordered.
+    live_clients = [c for c in deployment.clients if c.client_id != 0]
+    for client in live_clients:
+        assert client.own_decided >= 0.7 * client.submitted

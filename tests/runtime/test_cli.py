@@ -102,9 +102,20 @@ def test_chaos_command_multiple_seeds(capsys):
     assert out.count("gray-coordinator") == 2
 
 
-def test_chaos_command_rejects_unknown_scenario():
-    with pytest.raises(KeyError):
-        main(_chaos(["--scenario", "nonexistent", "--setups", "gossip"]))
+def test_chaos_command_rejects_unknown_scenario(capsys):
+    code = main(_chaos(["--scenario", "nonexistent", "--setups", "gossip"]))
+    assert code == 2
+    assert "unknown scenario" in capsys.readouterr().err
+
+
+def test_chaos_command_accepts_comma_separated_scenarios(capsys):
+    code = main(_chaos(["--scenario", "partition-heal,burst-loss",
+                        "--setups", "gossip"]))
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "partition-heal" in out
+    assert "burst-loss" in out
+    assert "gray-coordinator" not in out
 
 
 def test_compare_workers_flag_output_identical(capsys):
