@@ -83,19 +83,26 @@ def _run_invariants(args):
 
 
 def _resolve_race_names(requested):
-    """Expand/validate ``--race`` values; (names, error message)."""
+    """Expand/validate ``--race`` values; (names, error message).
+
+    A ``NAME:obs`` suffix audits the scenario with the deterministic
+    tracer armed (the compared digest then includes the obs trace).
+    """
     from repro.checks.race import SYNTHETIC, race_scenarios
 
     known = race_scenarios()
     names = []
     for name in requested:
+        base_name, _, variant = name.partition(":")
         if name == "all":
             # The synthetic planted-hazard fixture exists to fail; "all"
             # means "everything that must audit clean".
             names.extend(n for n in known
                          if n != SYNTHETIC and n not in names)
-        elif name not in known:
-            return None, ("unknown race scenario {!r}; known: {}"
+        elif (base_name not in known or variant not in ("", "obs")
+              or base_name == SYNTHETIC and variant):
+            return None, ("unknown race scenario {!r}; known: {} "
+                          "(an ':obs' suffix runs with tracing armed)"
                           .format(name, ", ".join(known)))
         elif name not in names:
             names.append(name)

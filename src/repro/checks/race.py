@@ -130,15 +130,37 @@ def _run_synthetic(capture):
 
 
 def _traced_run(name, capture):
-    """Execute one scenario under the auditor; returns the payload."""
+    """Execute one scenario under the auditor; returns the payload.
+
+    A ``NAME:obs`` suffix runs the scenario with the deterministic tracer
+    armed (default :class:`~repro.obs.ObsConfig`) and extends the compared
+    fingerprint with the obs trace digest, so a hash-seed-sensitive
+    iteration *inside the tracer or exporters* diverges the race check
+    even when the model run itself stays clean.
+    """
     if name == SYNTHETIC:
         return _run_synthetic(capture)
     from repro.analysis.fingerprint import report_fingerprint
-    from repro.runtime.runner import run_experiment
 
+    base_name, _, variant = name.partition(":")
     auditor = RaceAuditor(capture=capture)
-    report = run_experiment(_scenario_config(name), auditor=auditor)
-    return _auditor_payload(auditor, report_fingerprint(report))
+    if variant == "obs":
+        from repro.obs import ObsConfig, trace_digest
+        from repro.runtime.runner import run_deployment
+
+        deployment, report = run_deployment(
+            _scenario_config(base_name), auditor=auditor, obs=ObsConfig())
+        fingerprint = "{}+obs:{}".format(report_fingerprint(report),
+                                         trace_digest(deployment.obs))
+    elif variant:
+        raise KeyError("unknown scenario variant {!r} (only :obs)".format(
+            variant))
+    else:
+        from repro.runtime.runner import run_experiment
+
+        report = run_experiment(_scenario_config(base_name), auditor=auditor)
+        fingerprint = report_fingerprint(report)
+    return _auditor_payload(auditor, fingerprint)
 
 
 def _child_main(conn, name, capture):

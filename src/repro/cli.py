@@ -16,7 +16,13 @@ Exposes the experiment harness without writing Python:
                     docs/static-analysis.md.
 * ``perf``        — the simulator microbenchmarks (events/sec, scheduled
                     kernel events, peak memory, report fingerprints; see
-                    benchmarks/perf for the committed baseline and gate).
+                    benchmarks/perf for the committed baseline and gate);
+                    ``perf --profile`` runs a scenario under cProfile.
+* ``trace``       — run a committed scenario with the deterministic
+                    tracer armed: per-phase latency decomposition,
+                    timeline summary, JSONL / Chrome-trace (Perfetto)
+                    export, and the ``--check-inert`` fingerprint gate
+                    (see docs/observability.md).
 
 All commands accept ``--seed`` and print deterministic results. Commands
 that execute several independent runs (``compare``, ``sweep``,
@@ -94,7 +100,8 @@ def _report_row(setup, report):
     return [
         setup,
         "{:.1f}".format(report.avg_latency_s * 1000),
-        "{:.1f}".format(report.latency_percentile_s(99) * 1000),
+        "{:.1f}".format(report.p99_latency_s * 1000),
+        "{:.1f}".format(report.p999_latency_s * 1000),
         "{:.1f}".format(report.throughput),
         "{:.1%}".format(report.not_ordered_fraction),
         messages.received_total,
@@ -104,8 +111,9 @@ def _report_row(setup, report):
     ]
 
 
-_REPORT_HEADERS = ["setup", "avg ms", "p99 ms", "thr /s", "not ordered",
-                   "msgs recv", "dup", "filtered", "agg saved"]
+_REPORT_HEADERS = ["setup", "avg ms", "p99 ms", "p999 ms", "thr /s",
+                   "not ordered", "msgs recv", "dup", "filtered",
+                   "agg saved"]
 
 
 def cmd_run(args):
@@ -264,6 +272,29 @@ def cmd_perf(args):
         print(json.dumps(result, indent=2, sort_keys=True))
         return 0 if result["identical"] else 1
 
+    if args.profile:
+        from repro.perf import profile_scenario
+
+        name = args.scenario if args.scenario != "all" else "fig5_latency"
+        try:
+            result = profile_scenario(name, memory=args.profile_memory)
+        except KeyError as exc:
+            print("repro perf: {}".format(exc.args[0]), file=sys.stderr)
+            return 2
+        if args.json:
+            print(json.dumps(result, indent=2, sort_keys=True))
+            return 0
+        print("profile: {} (fingerprint {})".format(
+            name, result["fingerprint"][:12]))
+        print(result["stats_text"], end="")
+        if "peak_mem_kb" in result:
+            print("peak traced memory: {:.0f} KiB".format(
+                result["peak_mem_kb"]))
+            for stat in result["top_allocations"][:10]:
+                print("  {:>9.1f} KiB  x{:<7d} {}".format(
+                    stat["size_kb"], stat["count"], stat["site"]))
+        return 0
+
     names = sorted(SCENARIOS) if args.scenario == "all" else [args.scenario]
     unknown = [name for name in names if name not in SCENARIOS]
     if unknown:
@@ -301,6 +332,53 @@ def cmd_perf(args):
               "(fig3), {}x wall-clock (fig8)".format(
                   comparison["fig3_events_scheduled_reduction"],
                   comparison["fig8_speedup"]))
+    return 0
+
+
+def cmd_trace(args):
+    """Trace one committed scenario; print the decomposition, export."""
+    import json
+
+    from repro.analysis.fingerprint import report_fingerprint
+    from repro.obs import (
+        ObsConfig,
+        text_summary,
+        to_chrome_trace,
+        to_jsonl,
+        trace_digest,
+    )
+    from repro.perf.profile import _scenario_config
+    from repro.runtime.runner import run_deployment, run_experiment
+
+    try:
+        config = _scenario_config(args.scenario)
+    except KeyError as exc:
+        print("repro trace: {}".format(exc.args[0]), file=sys.stderr)
+        return 2
+    params = {"hops": not args.no_hops}
+    if args.tick is not None:
+        params["tick_interval"] = args.tick
+    deployment, report = run_deployment(config, obs=ObsConfig(**params))
+    tracer = deployment.obs
+
+    print(text_summary(tracer, report))
+    print("trace digest: {}".format(trace_digest(tracer)))
+    if args.jsonl:
+        with open(args.jsonl, "w") as fh:
+            fh.write(to_jsonl(tracer))
+        print("jsonl trace -> {}".format(args.jsonl))
+    if args.chrome:
+        with open(args.chrome, "w") as fh:
+            json.dump(to_chrome_trace(tracer), fh, sort_keys=True)
+        print("chrome trace -> {} (open in Perfetto)".format(args.chrome))
+    if args.check_inert:
+        traced = report_fingerprint(report)
+        untraced = report_fingerprint(run_experiment(config))
+        if traced != untraced:
+            print("check-inert: FAIL — traced fingerprint {} != untraced "
+                  "{}".format(traced, untraced), file=sys.stderr)
+            return 1
+        print("check-inert: ok ({})".format(traced))
     return 0
 
 
@@ -365,8 +443,43 @@ def build_parser():
     p.add_argument("--speedup", action="store_true",
                    help="measure the parallel loss_grid speedup instead "
                         "of the events/sec scenarios")
+    p.add_argument("--profile", action="store_true",
+                   help="run one scenario under cProfile and print the "
+                        "hottest functions (default scenario: fig5_latency)")
+    p.add_argument("--profile-memory", action="store_true",
+                   help="with --profile, also trace allocations with "
+                        "tracemalloc (slower)")
     _add_workers(p)
     p.set_defaults(func=cmd_perf)
+
+    p = sub.add_parser(
+        "trace",
+        help="deterministic trace of a committed scenario",
+        description="Run one committed perf/regression scenario with the "
+                    "deterministic tracer armed and print the per-phase "
+                    "latency decomposition, gossip hop totals, timeline "
+                    "summary and round events. Optionally export the "
+                    "trace as schema-checked JSONL or Chrome trace-event "
+                    "JSON (loadable in Perfetto / chrome://tracing). "
+                    "See docs/observability.md.",
+    )
+    p.add_argument("scenario",
+                   help="a repro.perf scenario name (figure or regression, "
+                        "e.g. fig7_overlay, churn_leader)")
+    p.add_argument("--jsonl", metavar="PATH", default=None,
+                   help="write the deterministic JSONL trace to PATH")
+    p.add_argument("--chrome", metavar="PATH", default=None,
+                   help="write Chrome trace-event JSON to PATH "
+                        "(open in Perfetto)")
+    p.add_argument("--tick", type=float, default=None,
+                   help="timeline bucket width in simulated seconds "
+                        "(default 0.05)")
+    p.add_argument("--no-hops", action="store_true",
+                   help="skip per-message gossip hop annotations")
+    p.add_argument("--check-inert", action="store_true",
+                   help="also run the scenario untraced and fail unless "
+                        "both report fingerprints are identical")
+    p.set_defaults(func=cmd_trace)
 
     add_check_parser(sub)
 

@@ -142,6 +142,9 @@ class _PeerSender:
                     kept.append(payload)
                 else:
                     node.stats.filtered += 1
+                    if node.obs is not None:
+                        node.obs.gossip_filtered(node.process_id,
+                                                 self.peer_id, payload)
             examined += len(batch)
             if len(kept) > 1:
                 examined += len(kept)
@@ -153,6 +156,12 @@ class _PeerSender:
                         1 for p in kept if p.aggregated
                     )
                     node.stats.aggregated_saved += saved
+                    if node.obs is not None:
+                        for p in kept:
+                            if p.aggregated:
+                                node.obs.gossip_aggregated(
+                                    node.process_id, self.peer_id, p,
+                                    max(0, len(getattr(p, "senders", ())) - 1))
             self.pending.extend(kept)
         self._charge_hooks(examined)
         self._transmit(self.pending.popleft())
@@ -267,6 +276,8 @@ class GossipNode(Actor):
             or type(self.hooks).aggregate is not SemanticHooks.aggregate
         )
         self.stats = GossipStats()
+        #: Tracer installed by ``obs=`` (repro.obs); None in untraced runs.
+        self.obs = None
         self.alive = True
         self._senders = {}
         self._send_queue_capacity = send_queue_capacity
@@ -338,13 +349,18 @@ class GossipNode(Actor):
         fresh = []
         service = 0.0
         duplicates = 0
+        obs = self.obs
         for part in parts:
             if self.cache.register(part.uid):
                 fresh.append(part)
                 service += costs.recv_fresh_s
+                if obs is not None:
+                    obs.gossip_receive(self.process_id, src, part, True)
             else:
                 duplicates += 1
                 service += costs.recv_dup_s
+                if obs is not None:
+                    obs.gossip_receive(self.process_id, src, part, False)
         # Count duplicates per part (matching ``disaggregated``), so an
         # aggregated bundle of k already-seen messages is k duplicates —
         # the paper's §4.3 per-message semantics.

@@ -1,0 +1,66 @@
+"""Deterministic observability: value-lifecycle spans, timeline metrics.
+
+``repro.obs`` answers the questions a single end-of-run
+:class:`~repro.runtime.metrics.MetricsReport` cannot: *where* in the
+propose → quorum → decide → deliver pipeline the latency budget goes,
+*when* during the run the saturation knee forms, and *what* actually
+happens inside a partition window or an election storm.
+
+The subsystem is opt-in and follows the repo's inert-when-unconfigured
+discipline (like ``auditor=`` and ``membership=``): it is passed to
+:func:`repro.runtime.runner.run_experiment` as a separate ``obs=``
+argument — never stored on :class:`~repro.runtime.config.ExperimentConfig`
+— so untraced runs build the exact same object graph and produce bitwise
+fingerprint-identical reports. Enabled runs add only read-only hooks and
+a virtual-time sampling ticker, neither of which draws RNG or mutates
+model state, so even *traced* runs keep the untraced report fingerprint
+(the ``repro trace --check-inert`` gate enforces this).
+
+Pieces
+------
+
+* :class:`ObsConfig` — what to record (spans, per-hop gossip annotations,
+  the timeline sampler and its tick width).
+* :class:`Tracer` — per-value lifecycle spans (submit, propose, 1b/2b
+  quorum, decide, client delivery, gossip hops) plus global round events
+  (Phase 1 completion, elections, takeovers), fed by lightweight hooks in
+  the gossip layer, both consensus stacks and the runtime.
+* :class:`TimelineSampler` — fixed-width virtual-time buckets of
+  throughput, in-flight count, per-region link utilization,
+  retransmissions, CPU utilization and membership/fault state.
+* exporters — deterministic JSONL (:func:`to_jsonl` /
+  :func:`trace_digest`), Chrome trace-event JSON for Perfetto
+  (:func:`to_chrome_trace`) and a text summary (:func:`text_summary`),
+  all surfaced by the ``repro trace`` CLI subcommand.
+
+See docs/observability.md for the span schema, exporter formats and the
+inertness guarantees.
+"""
+
+from repro.obs.config import ObsConfig
+from repro.obs.spans import PhaseBreakdown, Tracer, ValueSpan, payload_value_id
+from repro.obs.timeseries import TimelineSampler
+from repro.obs.export import (
+    span_records,
+    text_summary,
+    to_chrome_trace,
+    to_jsonl,
+    trace_digest,
+)
+from repro.obs.schema import validate_chrome_trace, validate_jsonl
+
+__all__ = [
+    "ObsConfig",
+    "PhaseBreakdown",
+    "TimelineSampler",
+    "Tracer",
+    "ValueSpan",
+    "payload_value_id",
+    "span_records",
+    "text_summary",
+    "to_chrome_trace",
+    "to_jsonl",
+    "trace_digest",
+    "validate_chrome_trace",
+    "validate_jsonl",
+]

@@ -1,0 +1,257 @@
+"""Trace exporters: deterministic JSONL, Chrome trace-event JSON, text.
+
+All exporters are pure functions of a finished :class:`~repro.obs.spans.Tracer`:
+
+* :func:`to_jsonl` — one JSON object per line, ordered by
+  ``(virtual time, record rank, kernel tie-break seq)`` with
+  ``sort_keys=True`` serialisation, so the byte stream is a pure function
+  of the simulated execution; :func:`trace_digest` is its SHA-256 and is
+  what the race harness compares across ``PYTHONHASHSEED`` values.
+* :func:`to_chrome_trace` — Chrome trace-event JSON (the Trace Event
+  Format) loadable in Perfetto / ``chrome://tracing``: per-value phase
+  slices on one track per client, timeline counters, and instants for
+  round events.
+* :func:`text_summary` — the ``repro trace`` CLI's human-readable view:
+  per-phase latency decomposition, timeline headlines and gossip hop
+  totals.
+"""
+
+import hashlib
+import json
+
+from repro.analysis.tables import format_table
+from repro.obs.spans import PHASES
+
+#: Bumped when the record schema changes incompatibly.
+SCHEMA_VERSION = 1
+
+_MICROS = 1_000_000.0
+
+
+def _span_dict(span):
+    return {
+        "type": "span",
+        "value_id": span.value_id,
+        "client_id": span.client_id,
+        "submitted_at": span.submitted_at,
+        "proposed_at": span.proposed_at,
+        "instance": span.instance,
+        "round": span.round,
+        "proposer": span.proposer,
+        "reproposals": span.reproposals,
+        "quorum_at": span.quorum_at,
+        "quorum_process": span.quorum_process,
+        "decided_at": span.decided_at,
+        "decide_process": span.decide_process,
+        "decide_count": span.decide_count,
+        "last_decided_at": span.last_decided_at,
+        "delivered_at": span.delivered_at,
+        "hop_fresh": span.hop_fresh,
+        "hop_dup": span.hop_dup,
+        "hop_filtered": span.hop_filtered,
+        "hop_agg_saved": span.hop_agg_saved,
+        "hops_dropped": span.hops_dropped,
+        "hops": [list(hop) for hop in span.hops],
+    }
+
+
+def span_records(tracer):
+    """All span dicts in submission order."""
+    return [_span_dict(span) for span in tracer.spans.values()]
+
+
+def _all_records(tracer):
+    """meta + spans + events + ticks, deterministically ordered.
+
+    Spans and round events share the tracer's per-record seq counter, so
+    ``(time, rank, seq)`` is a total order; ticks rank after model
+    records at the same instant (they observe, never precede).
+    """
+    config = tracer.config
+    obs = tracer.obs_config
+    meta = {
+        "type": "meta",
+        "schema_version": SCHEMA_VERSION,
+        "setup": config.setup,
+        "protocol": config.protocol,
+        "n": config.n,
+        "rate": config.rate,
+        "seed": config.seed,
+        "warmup": config.warmup,
+        "duration": config.duration,
+        "spans": obs.spans,
+        "hops": obs.hops,
+        "timeseries": obs.timeseries,
+        "tick_interval": obs.tick_interval,
+        "submitted": tracer.submitted_total,
+        "decided": tracer.decided_total,
+        "delivered": tracer.delivered_total,
+    }
+
+    keyed = []
+    for span in tracer.spans.values():
+        keyed.append(((span.submitted_at, 0, span.seq), _span_dict(span)))
+    for seq, t, kind, details in tracer.events:
+        record = {"type": "event", "t": t, "kind": kind}
+        record.update(details)
+        keyed.append(((t, 0, seq), record))
+    if tracer.sampler is not None:
+        for index, row in enumerate(tracer.sampler.rows()):
+            record = {"type": "tick"}
+            record.update(row)
+            keyed.append(((row["t"], 1, index), record))
+    keyed.sort(key=lambda item: item[0])
+    return [meta] + [record for _key, record in keyed]
+
+
+def to_jsonl(tracer):
+    """The deterministic JSONL export (trailing newline included)."""
+    lines = [json.dumps(record, sort_keys=True) for record in _all_records(tracer)]
+    return "\n".join(lines) + "\n"
+
+
+def trace_digest(tracer):
+    """SHA-256 of the JSONL export — the traced-run determinism witness."""
+    return hashlib.sha256(to_jsonl(tracer).encode("utf-8")).hexdigest()
+
+
+# -- Chrome trace-event JSON (Perfetto / chrome://tracing) -------------------
+
+_VALUE_PID = 1
+_TIMELINE_PID = 2
+_EVENT_PID = 3
+
+#: (phase, slice start accessor) — slice end is start + duration.
+_SLICE_PHASES = (
+    ("forward", "submitted_at", "forward_s"),
+    ("quorum", "proposed_at", "quorum_s"),
+    ("consensus", "proposed_at", "consensus_s"),
+    ("dissemination", "decided_at", "dissemination_s"),
+)
+
+#: Timeline series exported as Chrome counter tracks.
+_COUNTER_KEYS = ("delivered", "in_flight", "link_util_total", "alive",
+                 "partition_active", "retransmissions")
+
+
+def _meta_event(pid, name):
+    return {"ph": "M", "pid": pid, "tid": 0, "name": "process_name",
+            "args": {"name": name}}
+
+
+def to_chrome_trace(tracer):
+    """Trace-event dict (``{"traceEvents": [...]}``) for Perfetto.
+
+    Three tracks: per-value phase slices (one thread per client, nested
+    ``quorum`` inside ``consensus``), timeline counters, and global
+    instants for round events. Times are virtual seconds scaled to the
+    format's microseconds.
+    """
+    config = tracer.config
+    events = [
+        _meta_event(_VALUE_PID, "values ({} {})".format(
+            config.protocol, config.setup)),
+        _meta_event(_TIMELINE_PID, "timeline"),
+        _meta_event(_EVENT_PID, "rounds"),
+    ]
+
+    for span in tracer.spans.values():
+        args = {
+            "value_id": span.value_id,
+            "instance": span.instance,
+            "round": span.round,
+            "proposer": span.proposer,
+            "reproposals": span.reproposals,
+            "hop_fresh": span.hop_fresh,
+            "hop_dup": span.hop_dup,
+            "hop_filtered": span.hop_filtered,
+            "hop_agg_saved": span.hop_agg_saved,
+        }
+        for name, start_attr, duration_attr in _SLICE_PHASES:
+            start = getattr(span, start_attr)
+            duration = getattr(span, duration_attr)
+            if start is None or duration is None:
+                continue
+            events.append({
+                "ph": "X", "name": name, "cat": "value",
+                "pid": _VALUE_PID, "tid": span.client_id,
+                "ts": start * _MICROS, "dur": duration * _MICROS,
+                "args": args,
+            })
+
+    if tracer.sampler is not None:
+        series = tracer.sampler.series
+        for index, t in enumerate(series["t"]):
+            ts = t * _MICROS
+            for key in _COUNTER_KEYS:
+                events.append({
+                    "ph": "C", "name": key, "pid": _TIMELINE_PID, "tid": 0,
+                    "ts": ts, "args": {"value": series[key][index]},
+                })
+
+    for _seq, t, kind, details in tracer.events:
+        events.append({
+            "ph": "i", "name": kind, "cat": "round", "s": "g",
+            "pid": _EVENT_PID, "tid": 0, "ts": t * _MICROS,
+            "args": dict(details),
+        })
+
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+# -- text summary ------------------------------------------------------------
+
+
+def text_summary(tracer, report=None):
+    """Human-readable trace summary for the ``repro trace`` CLI."""
+    config = tracer.config
+    lines = [
+        "trace: setup={} protocol={} n={} rate={:.0f}/s seed={}".format(
+            config.setup, config.protocol, config.n, config.rate,
+            config.seed),
+        "values: submitted={} decided={} delivered={}".format(
+            tracer.submitted_total, tracer.decided_total,
+            tracer.delivered_total),
+    ]
+
+    breakdown = tracer.phase_breakdown()
+    if any(breakdown.samples[name] for name, _ in PHASES):
+        lines.append("")
+        lines.append(format_table(breakdown.HEADERS, breakdown.rows(),
+                                  title="per-phase latency"))
+
+    hop_fresh = sum(s.hop_fresh for s in tracer.spans.values())
+    hop_dup = sum(s.hop_dup for s in tracer.spans.values())
+    hop_filtered = sum(s.hop_filtered for s in tracer.spans.values())
+    hop_agg = sum(s.hop_agg_saved for s in tracer.spans.values())
+    if hop_fresh or hop_dup or hop_filtered or hop_agg:
+        lines.append("")
+        lines.append(
+            "gossip hops: fresh={} dup={} filtered={} agg_saved={}".format(
+                hop_fresh, hop_dup, hop_filtered, hop_agg))
+
+    if tracer.sampler is not None:
+        summary = tracer.sampler.summary()
+        if summary:
+            lines.append("")
+            lines.append(
+                "timeline: {ticks} ticks x {tick_interval_s}s, "
+                "throughput peak={peak_throughput:.1f}/s "
+                "mean={mean_throughput:.1f}/s, in-flight peak="
+                "{peak_in_flight}, retransmissions={retransmissions}, "
+                "min alive={min_alive}, partition ticks="
+                "{partition_ticks}".format(**summary))
+
+    if tracer.events:
+        lines.append("")
+        lines.append("round events:")
+        for _seq, t, kind, details in tracer.events:
+            detail = " ".join(
+                "{}={}".format(k, v) for k, v in details.items())
+            lines.append("  t={:.3f}s {} {}".format(t, kind, detail))
+
+    if report is not None:
+        lines.append("")
+        lines.append(repr(report))
+
+    return "\n".join(lines) + "\n"

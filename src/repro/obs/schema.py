@@ -1,0 +1,174 @@
+"""Schema validation for the trace exporters.
+
+Hand-rolled (the toolchain has no ``jsonschema``), but strict enough for
+the CI ``trace-smoke`` gate: every record type's required fields and
+types are checked, and the JSONL stream's deterministic ordering
+invariant (non-decreasing virtual time after the meta header) is
+enforced. Validators raise :class:`ValueError` with the offending line /
+event index; on success they return the parsed records.
+"""
+
+import json
+
+_NUMBER = (int, float)
+
+#: record type -> (field, allowed types or None for nullable number)
+#: (value ids are ``(client_id, seq)`` tuples, i.e. JSON lists)
+_SPAN_REQUIRED = {
+    "value_id": _NUMBER + (str, list),
+    "client_id": int,
+    "submitted_at": _NUMBER,
+    "decide_count": int,
+    "reproposals": int,
+    "hop_fresh": int,
+    "hop_dup": int,
+    "hop_filtered": int,
+    "hop_agg_saved": int,
+    "hops_dropped": int,
+    "hops": list,
+}
+_SPAN_NULLABLE_TIMES = ("proposed_at", "quorum_at", "decided_at",
+                        "last_decided_at", "delivered_at")
+_META_REQUIRED = {
+    "schema_version": int,
+    "setup": str,
+    "protocol": str,
+    "n": int,
+    "seed": int,
+    "tick_interval": _NUMBER,
+    "submitted": int,
+    "decided": int,
+    "delivered": int,
+}
+_TICK_REQUIRED = {"t": _NUMBER, "submitted": int, "delivered": int,
+                  "in_flight": int, "retransmissions": int, "alive": int,
+                  "partition_active": int, "link_util_total": _NUMBER}
+_EVENT_REQUIRED = {"t": _NUMBER, "kind": str}
+
+
+def _check_fields(record, required, where):
+    for field, types in required.items():
+        if field not in record:
+            raise ValueError("{}: missing field {!r}".format(where, field))
+        value = record[field]
+        if isinstance(types, tuple):
+            ok = isinstance(value, types)
+        else:
+            ok = isinstance(value, types)
+        # bool is an int subclass; never a valid count or time.
+        if isinstance(value, bool):
+            ok = False
+        if not ok:
+            raise ValueError("{}: field {!r} has type {} (want {})".format(
+                where, field, type(value).__name__, types))
+
+
+def _record_time(record):
+    if record["type"] == "span":
+        return record["submitted_at"]
+    return record["t"]
+
+
+def validate_jsonl(text):
+    """Validate a :func:`~repro.obs.export.to_jsonl` stream.
+
+    Returns the parsed records (meta first). Raises :class:`ValueError`
+    on malformed JSON, unknown record types, missing/ill-typed fields or
+    an ordering violation.
+    """
+    records = []
+    for index, line in enumerate(text.splitlines()):
+        where = "line {}".format(index + 1)
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError("{}: invalid JSON ({})".format(where, exc))
+        if not isinstance(record, dict) or "type" not in record:
+            raise ValueError("{}: not a typed record".format(where))
+        kind = record["type"]
+        if index == 0:
+            if kind != "meta":
+                raise ValueError("line 1: first record must be meta")
+            _check_fields(record, _META_REQUIRED, where)
+        elif kind == "span":
+            _check_fields(record, _SPAN_REQUIRED, where)
+            for field in _SPAN_NULLABLE_TIMES:
+                value = record.get(field)
+                if value is not None and not isinstance(value, _NUMBER):
+                    raise ValueError(
+                        "{}: field {!r} must be a time or null".format(
+                            where, field))
+            for hop in record["hops"]:
+                if (not isinstance(hop, list) or len(hop) != 4
+                        or not isinstance(hop[0], _NUMBER)):
+                    raise ValueError("{}: malformed hop {!r}".format(
+                        where, hop))
+        elif kind == "event":
+            _check_fields(record, _EVENT_REQUIRED, where)
+        elif kind == "tick":
+            _check_fields(record, _TICK_REQUIRED, where)
+        elif kind == "meta":
+            raise ValueError("{}: duplicate meta record".format(where))
+        else:
+            raise ValueError("{}: unknown record type {!r}".format(
+                where, kind))
+        records.append(record)
+
+    if not records:
+        raise ValueError("empty trace")
+    last = None
+    for index, record in enumerate(records[1:], start=2):
+        t = _record_time(record)
+        if last is not None and t < last:
+            raise ValueError(
+                "line {}: time {} goes backwards (previous {})".format(
+                    index, t, last))
+        last = t
+    return records
+
+
+_PHASE_TYPES = ("X", "C", "i", "I", "M")
+
+
+def validate_chrome_trace(trace):
+    """Validate a :func:`~repro.obs.export.to_chrome_trace` dict.
+
+    Accepts the object form (``{"traceEvents": [...]}``). Returns the
+    event list; raises :class:`ValueError` on structural problems that
+    would make Perfetto / ``chrome://tracing`` reject or misrender the
+    trace.
+    """
+    if not isinstance(trace, dict) or "traceEvents" not in trace:
+        raise ValueError("trace must be an object with traceEvents")
+    events = trace["traceEvents"]
+    if not isinstance(events, list) or not events:
+        raise ValueError("traceEvents must be a non-empty list")
+    for index, event in enumerate(events):
+        where = "event {}".format(index)
+        if not isinstance(event, dict):
+            raise ValueError("{}: not an object".format(where))
+        ph = event.get("ph")
+        if ph not in _PHASE_TYPES:
+            raise ValueError("{}: unknown ph {!r}".format(where, ph))
+        if not isinstance(event.get("name"), str):
+            raise ValueError("{}: missing name".format(where))
+        if not isinstance(event.get("pid"), int):
+            raise ValueError("{}: missing pid".format(where))
+        if ph == "M":
+            continue
+        ts = event.get("ts")
+        if not isinstance(ts, _NUMBER) or isinstance(ts, bool) or ts < 0:
+            raise ValueError("{}: bad ts {!r}".format(where, ts))
+        if ph == "X":
+            dur = event.get("dur")
+            if (not isinstance(dur, _NUMBER) or isinstance(dur, bool)
+                    or dur < 0):
+                raise ValueError("{}: bad dur {!r}".format(where, dur))
+        if ph == "C":
+            args = event.get("args")
+            if (not isinstance(args, dict)
+                    or not isinstance(args.get("value"), _NUMBER)):
+                raise ValueError("{}: counter needs args.value".format(where))
+        if ph in ("i", "I") and event.get("s") not in ("g", "p", "t", None):
+            raise ValueError("{}: bad instant scope".format(where))
+    return events

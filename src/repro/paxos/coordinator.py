@@ -36,10 +36,11 @@ class Coordinator:
         "process_id", "n", "majority", "comm", "round", "first_instance",
         "phase1_complete", "_promises", "_phase1_started_at",
         "next_instance", "proposals", "_pending_values", "_known_value_ids",
-        "decided_count", "retransmissions",
+        "decided_count", "retransmissions", "obs",
     )
 
-    def __init__(self, process_id, n, comm, first_instance=1, round_=1):
+    def __init__(self, process_id, n, comm, first_instance=1, round_=1,
+                 obs=None):
         """``round_`` must be unique per coordinator incarnation; the
         runtime uses ``attempt * n + process_id + 1`` so competing
         coordinators can never collide on a round number."""
@@ -59,6 +60,8 @@ class Coordinator:
         self._known_value_ids = set()
         self.decided_count = 0
         self.retransmissions = 0
+        #: Tracer installed by ``obs=`` (repro.obs); None in untraced runs.
+        self.obs = obs
 
     # -- Phase 1 -----------------------------------------------------------
 
@@ -75,6 +78,9 @@ class Coordinator:
         if len(self._promises) < self.majority:
             return
         self.phase1_complete = True
+        if self.obs is not None:
+            self.obs.round_event("phase1_quorum", coordinator=self.process_id,
+                                 round=self.round)
         self._repropose_accepted(now)
         while self._pending_values:
             self._propose(self._pending_values.popleft(), now)
@@ -92,6 +98,9 @@ class Coordinator:
             self._known_value_ids.add(value.value_id)
             self.proposals[instance] = _Proposal(self.round, value, now)
             self.comm.broadcast(Phase2a(instance, self.round, value))
+            if self.obs is not None:
+                self.obs.value_proposed(value.value_id, instance, self.round,
+                                        self.process_id)
             if instance >= self.next_instance:
                 self.next_instance = instance + 1
 
@@ -112,6 +121,9 @@ class Coordinator:
         self.next_instance += 1
         self.proposals[instance] = _Proposal(self.round, value, now)
         self.comm.broadcast(Phase2a(instance, self.round, value))
+        if self.obs is not None:
+            self.obs.value_proposed(value.value_id, instance, self.round,
+                                    self.process_id)
 
     def on_decided(self, instance):
         """Learner reported a decision; stop tracking the proposal."""

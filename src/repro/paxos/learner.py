@@ -27,7 +27,7 @@ class Learner:
     """Per-process decision tracker across all instances."""
 
     __slots__ = ("n", "majority", "_instances", "decided", "decided_by_majority",
-                 "decided_by_message", "_forgotten")
+                 "decided_by_message", "_forgotten", "on_quorum")
 
     def __init__(self, n):
         self.n = n
@@ -38,6 +38,9 @@ class Learner:
         self.decided_by_majority = 0   # learned from majority of 2b votes
         self.decided_by_message = 0    # learned from a Decision message
         self._forgotten = 0
+        #: Optional ``on_quorum(instance, value_id)`` observer fired when a
+        #: Phase 2b majority first forms here (repro.obs); None when unset.
+        self.on_quorum = None
 
     def _state(self, instance):
         state = self._instances.get(instance)
@@ -75,6 +78,8 @@ class Learner:
         voters.add(msg.sender)
         if len(voters) >= self.majority and state.decided_value_id is None:
             state.decided_value_id = msg.value_id
+            if self.on_quorum is not None:
+                self.on_quorum(msg.instance, msg.value_id)
             if msg.value_id in state.values:
                 return self._finalize(msg.instance, state, by_majority=True)
         return None

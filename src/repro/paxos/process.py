@@ -101,6 +101,8 @@ class PaxosProcess(Actor):
         self.coordinator = (
             Coordinator(process_id, n, comm) if self.is_coordinator else None
         )
+        #: Tracer installed by ``obs=`` (repro.obs); None in untraced runs.
+        self.obs = None
         self.alive = True
         self.takeovers = 0
         self._retransmit_timer = None
@@ -251,6 +253,8 @@ class PaxosProcess(Actor):
         if decided is None:
             return
         instance, value = decided
+        if self.obs is not None:
+            self.obs.value_decided(self.process_id, instance, value.value_id)
         if self.coordinator is not None:
             # Inform all processes (paper §2.3); filtering turns this into
             # the message that obsoletes the instance's Phase 2b traffic.
@@ -322,7 +326,11 @@ class PaxosProcess(Actor):
         self.coordinator = Coordinator(
             self.process_id, self.n, self.comm,
             first_instance=self.log.next_instance, round_=round_,
+            obs=self.obs,
         )
+        if self.obs is not None:
+            self.obs.round_event("takeover", process=self.process_id,
+                                 round=round_)
         self.coordinator.start(self.now)
         self._last_progress = self.now
         self._start_retransmit_timer()

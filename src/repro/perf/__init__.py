@@ -14,6 +14,7 @@ from repro.perf.measure import (
     measure_scenario,
     measure_speedup,
 )
+from repro.perf.profile import profile_scenario
 
 __all__ = [
     "OVERLAY_SEED",
@@ -23,4 +24,5 @@ __all__ = [
     "measure_legacy_comparison",
     "measure_scenario",
     "measure_speedup",
+    "profile_scenario",
 ]

@@ -1,0 +1,107 @@
+"""Wall-clock kernel profiling for the perf scenarios.
+
+The deterministic fingerprints say *what* a run computes; this module
+says *where the interpreter time goes* while computing it — the tool for
+the roadmap's events/sec work. :func:`profile_scenario` wraps one
+committed perf scenario in ``cProfile`` (and optionally ``tracemalloc``)
+and returns a structured summary next to the raw ``pstats`` text.
+Profiling is observational: the simulated run is the byte-identical
+scenario the benchmarks pin, so the reported fingerprint doubles as a
+check that the profiled code path is the measured one.
+
+Exposed on the CLI as ``repro perf --profile``.
+"""
+
+import cProfile
+import io
+import pstats
+
+
+def _scenario_config(name):
+    from repro.perf.scenarios import REGRESSION_SCENARIOS, SCENARIOS
+
+    factory = SCENARIOS.get(name) or REGRESSION_SCENARIOS.get(name)
+    if factory is None:
+        known = sorted(SCENARIOS) + sorted(REGRESSION_SCENARIOS)
+        raise KeyError("unknown perf scenario {!r}; known: {}".format(
+            name, ", ".join(known)))
+    return factory()
+
+
+def _top_functions(stats, limit):
+    """The hottest entries as dicts, ordered by cumulative time."""
+    rows = []
+    entries = sorted(stats.stats.items(),
+                     key=lambda item: item[1][3], reverse=True)
+    for (filename, line, function), data in entries[:limit]:
+        calls, _primitive, total_time, cumulative_time, _callers = data
+        rows.append({
+            "function": "{}:{}:{}".format(filename, line, function),
+            "calls": calls,
+            "total_s": total_time,
+            "cumulative_s": cumulative_time,
+        })
+    return rows
+
+
+def profile_scenario(name, sort="cumulative", limit=25, memory=False):
+    """Profile one committed perf scenario under ``cProfile``.
+
+    Parameters
+    ----------
+    name:
+        A :data:`repro.perf.scenarios.SCENARIOS` /
+        ``REGRESSION_SCENARIOS`` key.
+    sort:
+        ``pstats`` sort key for the text output (default cumulative).
+    limit:
+        Number of entries in both the text output and ``top_functions``.
+    memory:
+        Also trace allocations with ``tracemalloc`` (slower); adds
+        ``peak_mem_kb`` and the top allocation sites.
+
+    Returns a dict: ``scenario``, ``wall_s``, ``fingerprint`` (of the
+    profiled run's report — must match the committed baseline),
+    ``top_functions``, ``stats_text``, and with ``memory`` also
+    ``peak_mem_kb`` and ``top_allocations``.
+    """
+    from repro.analysis.fingerprint import report_fingerprint
+    from repro.runtime.runner import run_experiment
+
+    config = _scenario_config(name)
+    result = {"scenario": name}
+
+    snapshot = None
+    if memory:
+        import tracemalloc
+
+        tracemalloc.start()
+    profiler = cProfile.Profile()
+    profiler.enable()
+    report = run_experiment(config)
+    profiler.disable()
+    if memory:
+        import tracemalloc
+
+        snapshot = tracemalloc.take_snapshot()
+        _current, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        result["peak_mem_kb"] = peak / 1024.0
+
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.sort_stats(sort).print_stats(limit)
+    result["fingerprint"] = report_fingerprint(report)
+    result["wall_s"] = sum(
+        entry[1][2] for entry in stats.stats.items())
+    result["top_functions"] = _top_functions(stats, limit)
+    result["stats_text"] = buffer.getvalue()
+
+    if snapshot is not None:
+        top = snapshot.statistics("lineno")[:limit]
+        result["top_allocations"] = [
+            {"site": str(stat.traceback), "size_kb": stat.size / 1024.0,
+             "count": stat.count}
+            for stat in top
+        ]
+    return result

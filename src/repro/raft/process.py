@@ -85,6 +85,8 @@ class RaftProcess(Actor):
         self._ack_senders = {}       # (term, index) -> set of senders
         self._committed_by_acks = set()
         self._next_index = 1
+        #: Tracer installed by ``obs=`` (repro.obs); None in untraced runs.
+        self.obs = None
         self.alive = True
         self._retransmit_timer = None
         # Leader-side per-follower progress (Raft's matchIndex, derived
@@ -122,6 +124,9 @@ class RaftProcess(Actor):
         self.stats.elections += 1
         self.current_term += 1
         term = self.current_term
+        if self.obs is not None:
+            self.obs.round_event("election", candidate=self.process_id,
+                                 term=term)
         self.is_leader_candidate = True
         self.is_leader = False
         self.voted_for[term] = self.process_id
@@ -176,6 +181,9 @@ class RaftProcess(Actor):
         self._next_index += 1
         entry = LogEntry(self.current_term, index, value)
         self._replicating[index] = _PendingReplication(entry, self.now)
+        if self.obs is not None:
+            self.obs.value_proposed(value.value_id, index, self.current_term,
+                                    self.process_id)
         self._append_local_and_broadcast(entry, attempt=0)
 
     def _append_local_and_broadcast(self, entry, attempt):
@@ -245,6 +253,10 @@ class RaftProcess(Actor):
         self._votes.add(msg.voter)
         if len(self._votes) >= self.majority:
             self.is_leader = True
+            if self.obs is not None:
+                self.obs.round_event("leader_elected",
+                                     leader=self.process_id,
+                                     term=self.current_term)
             self._next_index = self.log.last_index + 1
             # Track progress for every process, including ones that never
             # manage to ack (they may have missed the very first entry).
@@ -322,6 +334,10 @@ class RaftProcess(Actor):
             self._ack_senders[key] = senders
         senders.add(sender)
         if len(senders) >= self.majority:
+            if self.obs is not None and self.log.has(index):
+                self.obs.value_quorum(
+                    self.process_id, index,
+                    self.log.entries[index].value.value_id)
             if self.log.advance_commit(index):
                 self.stats.commits_by_acks += 1
                 if self.is_leader:
@@ -336,6 +352,9 @@ class RaftProcess(Actor):
         for entry in ready:
             self._replicating.pop(entry.index, None)
             self._ack_senders.pop((entry.term, entry.index), None)
+            if self.obs is not None:
+                self.obs.value_decided(self.process_id, entry.index,
+                                       entry.value.value_id)
         if self.on_deliver is not None:
             for entry in ready:
                 self.on_deliver(entry.index, entry.value)

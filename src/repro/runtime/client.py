@@ -40,6 +40,8 @@ class Client(Actor):
         self.submitted = 0
         self.decisions_seen = 0
         self.own_decided = 0
+        #: Tracer installed by ``obs=`` (repro.obs); None in untraced runs.
+        self.obs = None
 
     def start(self):
         """Arm the first submission at start_at + phase."""
@@ -50,6 +52,8 @@ class Client(Actor):
         self.submitted += 1
         value = Value(value_id, self.client_id, self.value_size)
         self.collector.record_submit(value_id, self.client_id, self.now)
+        if self.obs is not None:
+            self.obs.value_submitted(value_id, self.client_id)
         # Reliable same-region delivery to the serving process.
         self.sim.schedule(self.lan_delay_s, self.process.submit_value, value)
         next_at = self.now + self.interval
@@ -62,3 +66,5 @@ class Client(Actor):
         if value.client_id == self.client_id:
             self.own_decided += 1
             self.collector.record_decided(value.value_id, self.now)
+            if self.obs is not None:
+                self.obs.value_delivered(value.value_id, self.client_id)

@@ -41,7 +41,8 @@ class Deployment:
 
     def __init__(self, config, sim, topology, overlay, transports, nodes,
                  processes, clients, collector, loss_injector,
-                 crash_controller=None, fault_engine=None, membership=None):
+                 crash_controller=None, fault_engine=None, membership=None,
+                 obs=None):
         self.config = config
         self.sim = sim
         self.topology = topology
@@ -55,10 +56,15 @@ class Deployment:
         self.crash_controller = crash_controller
         self.fault_engine = fault_engine
         self.membership = membership    # MembershipService or None
+        self.obs = obs                  # repro.obs Tracer or None
 
     def start(self):
         """Schedule startup: every process at t=0 (the coordinator runs
         Phase 1, backups arm failover timers if configured), then clients."""
+        if self.obs is not None:
+            # Hook installation is pure attribute wiring plus the sampler's
+            # first tick (at t = tick_interval > 0); nothing at t=0 moves.
+            self.obs.install(self)
         for process in self.processes:
             # Startup is order-insensitive by design: process.start only
             # arms per-process timers, and the list order is the fixed
@@ -102,13 +108,19 @@ def _make_dedup(config):
     return RecentlySeenCache(config.cache_capacity)
 
 
-def build_deployment(config, auditor=None):
+def build_deployment(config, auditor=None, obs=None):
     """Construct the simulated system described by ``config``.
 
     ``auditor`` (a :class:`repro.checks.auditor.RaceAuditor`) arms the
     simulator's event/RNG instrumentation for the whole run, including the
     t=0 startup events scheduled here; it never changes what the run
     computes.
+
+    ``obs`` (a :class:`repro.obs.ObsConfig`) builds a
+    :class:`repro.obs.Tracer` for the run, installed at
+    :meth:`Deployment.start`. Deliberately *not* an ``ExperimentConfig``
+    field — the config is fingerprinted, and tracing must never change
+    what a run reports.
     """
     n = config.n
     sim = Simulator(config.seed, auditor=auditor)
@@ -243,9 +255,17 @@ def build_deployment(config, auditor=None):
             fault_engine.membership = membership
             membership.fault_engine = fault_engine
 
+    tracer = None
+    if obs is not None:
+        # Imported lazily so untraced runs never load the obs package.
+        from repro.obs.spans import Tracer
+
+        tracer = Tracer(sim, config, obs)
+
     return Deployment(config, sim, topology, overlay, transports, nodes,
                       processes, clients, collector, loss_injector,
-                      crash_controller, fault_engine, membership)
+                      crash_controller, fault_engine, membership,
+                      obs=tracer)
 
 
 def _make_notifier(sim, lan_delay_s, client):

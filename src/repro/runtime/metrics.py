@@ -26,6 +26,11 @@ class MetricsCollector:
 
     def __init__(self):
         self._records = {}
+        #: Decisions reported for value ids never submitted — a monitor or
+        #: harness bug if ever nonzero; counted instead of silently dropped.
+        self.decisions_unknown = 0
+        #: Repeat decision notifications for an already-decided value.
+        self.decisions_duplicate = 0
 
     def record_submit(self, value_id, client_id, now):
         """A client submitted a value at simulated time ``now``."""
@@ -34,8 +39,12 @@ class MetricsCollector:
     def record_decided(self, value_id, now):
         """The owning client was notified of its value's decision."""
         record = self._records.get(value_id)
-        if record is not None and record.decided_at is None:
+        if record is None:
+            self.decisions_unknown += 1
+        elif record.decided_at is None:
             record.decided_at = now
+        else:
+            self.decisions_duplicate += 1
 
     def records(self):
         """All per-value records collected so far."""
@@ -77,6 +86,15 @@ def percentile(sorted_xs, p):
 
 class MessageStats:
     """Substrate-level counters aggregated across processes."""
+
+    #: Decision notifications for unknown / already-decided value ids (see
+    #: MetricsCollector). Class-level defaults: the report fingerprint
+    #: canonicalises instances by ``__dict__``, so these only become
+    #: instance attributes when nonzero — committed fingerprints of clean
+    #: runs are unaffected, while any nonzero count changes the
+    #: fingerprint loudly (as a harness bug should).
+    decisions_unknown = 0
+    decisions_duplicate = 0
 
     def __init__(self):
         self.received_total = 0
@@ -137,6 +155,14 @@ class MessageStats:
 class MetricsReport:
     """Everything a bench needs from one experiment run."""
 
+    #: Set on traced runs only (repro.obs): the per-phase latency
+    #: decomposition and the timeline sampler's buckets. Class-level
+    #: defaults so untraced reports expose them as None; the fingerprint
+    #: serialisation reads explicit keys and never sees either, keeping
+    #: traced and untraced reports fingerprint-identical.
+    phases = None
+    timeline = None
+
     def __init__(self, config, latencies_s, per_client_latencies_s,
                  submitted, decided, decided_in_window, message_stats,
                  decided_by_majority, decided_by_message):
@@ -171,13 +197,31 @@ class MetricsReport:
         """Median end-to-end latency."""
         return self.latency_percentile_s(50.0)
 
+    @property
+    def p99_latency_s(self):
+        """99th-percentile end-to-end latency (tail behaviour)."""
+        return self.latency_percentile_s(99.0)
+
+    @property
+    def p999_latency_s(self):
+        """99.9th-percentile end-to-end latency (extreme tail)."""
+        return self.latency_percentile_s(99.9)
+
     def latency_cdf(self, points=100):
-        """(latency_s, cumulative_fraction) pairs for CDF plotting."""
+        """(latency_s, cumulative_fraction) pairs for CDF plotting.
+
+        Subsampled to roughly ``points`` entries; the final sample is
+        always retained so the curve reaches 1.0 at the max latency.
+        """
         xs = self.latencies_s
         if not xs:
             return []
         n = len(xs)
-        return [(xs[i], (i + 1) / n) for i in range(n)][:: max(1, n // points)]
+        pairs = [(xs[i], (i + 1) / n) for i in range(n)]
+        sampled = pairs[:: max(1, n // points)]
+        if sampled[-1] is not pairs[-1]:
+            sampled.append(pairs[-1])
+        return sampled
 
     # -- throughput & reliability ----------------------------------------------
 
@@ -201,10 +245,12 @@ class MetricsReport:
     def __repr__(self):
         return (
             "MetricsReport(setup={}, n={}, rate={:.0f}/s: "
-            "avg_latency={:.1f}ms, throughput={:.1f}/s, not_ordered={:.1%})"
+            "avg_latency={:.1f}ms, p99={:.1f}ms, p999={:.1f}ms, "
+            "throughput={:.1f}/s, not_ordered={:.1%})"
         ).format(
             self.config.setup, self.config.n, self.config.rate,
-            self.avg_latency_s * 1000.0, self.throughput,
+            self.avg_latency_s * 1000.0, self.p99_latency_s * 1000.0,
+            self.p999_latency_s * 1000.0, self.throughput,
             self.not_ordered_fraction,
         )
 
@@ -233,6 +279,13 @@ def build_report(deployment):
             decided_in_window += 1
 
     stats = MessageStats()
+    collector = deployment.collector
+    # Only materialise the anomaly counters when nonzero (see the class
+    # attribute comment on MessageStats).
+    if collector.decisions_unknown:
+        stats.decisions_unknown = collector.decisions_unknown
+    if collector.decisions_duplicate:
+        stats.decisions_duplicate = collector.decisions_duplicate
     regular_received = []
     for node in deployment.nodes:
         node_stats = node.stats

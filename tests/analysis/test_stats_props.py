@@ -1,0 +1,88 @@
+"""Property-based tests of the statistics the reports are built from.
+
+The percentile/mean/stddev helpers in :mod:`repro.runtime.metrics` feed
+every latency number in the paper's tables, so they get algebraic
+guarantees rather than example checks: percentiles are monotone in the
+rank, bracketed by the sample extremes, invariant under permutation, and
+exact on the sample points of a piecewise-linear CDF.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime.metrics import mean, percentile, stddev
+
+latencies = st.lists(
+    st.floats(min_value=0.0, max_value=100.0,
+              allow_nan=False, allow_infinity=False),
+    min_size=1, max_size=50)
+
+
+@given(xs=latencies, p_lo=st.floats(min_value=0, max_value=100),
+       p_hi=st.floats(min_value=0, max_value=100))
+@settings(max_examples=200, deadline=None)
+def test_percentile_monotone_in_p(xs, p_lo, p_hi):
+    xs = sorted(xs)
+    if p_lo > p_hi:
+        p_lo, p_hi = p_hi, p_lo
+    assert percentile(xs, p_lo) <= percentile(xs, p_hi) + 1e-12
+
+
+@given(xs=latencies, p=st.floats(min_value=0, max_value=100))
+@settings(max_examples=200, deadline=None)
+def test_percentile_bracketed_by_extremes(xs, p):
+    xs = sorted(xs)
+    assert xs[0] - 1e-12 <= percentile(xs, p) <= xs[-1] + 1e-12
+
+
+@given(xs=latencies, p=st.floats(min_value=0, max_value=100),
+       seed=st.integers(min_value=0, max_value=2**32 - 1))
+@settings(max_examples=200, deadline=None)
+def test_statistics_are_permutation_invariant(xs, p, seed):
+    import random
+
+    shuffled = list(xs)
+    random.Random(seed).shuffle(shuffled)
+    # percentile contracts on the sorted view; mean/stddev on any order.
+    assert percentile(sorted(shuffled), p) == percentile(sorted(xs), p)
+    assert math.isclose(mean(shuffled), mean(xs), abs_tol=1e-9)
+    assert math.isclose(stddev(shuffled), stddev(xs), abs_tol=1e-9)
+
+
+@given(xs=latencies)
+@settings(max_examples=200, deadline=None)
+def test_percentile_endpoints_are_extremes(xs):
+    xs = sorted(xs)
+    assert percentile(xs, 0) == xs[0]
+    assert percentile(xs, 100) == xs[-1]
+
+
+@given(xs=latencies)
+@settings(max_examples=200, deadline=None)
+def test_mean_bracketed_and_shift_equivariant(xs):
+    m = mean(xs)
+    assert min(xs) - 1e-9 <= m <= max(xs) + 1e-9
+    shifted = mean([x + 5.0 for x in xs])
+    assert math.isclose(shifted, m + 5.0, rel_tol=0, abs_tol=1e-7)
+
+
+@given(xs=latencies)
+@settings(max_examples=200, deadline=None)
+def test_stddev_nonnegative_and_shift_invariant(xs):
+    s = stddev(xs)
+    assert s >= 0.0
+    assert math.isclose(stddev([x + 7.0 for x in xs]), s, abs_tol=1e-7)
+
+
+@given(x=st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+       count=st.integers(min_value=1, max_value=20))
+@settings(max_examples=100, deadline=None)
+def test_constant_sample_has_zero_spread(x, count):
+    xs = [x] * count
+    # mean(xs) reconstructs x up to summation rounding, so the spread is
+    # zero only up to the same rounding.
+    assert stddev(xs) <= 1e-9
+    assert math.isclose(mean(xs), x, rel_tol=1e-12, abs_tol=1e-12)
+    assert percentile(xs, 37.5) == x

@@ -1,0 +1,129 @@
+"""Exporter tests: JSONL determinism, Chrome trace shape, text summary."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    ObsConfig,
+    span_records,
+    text_summary,
+    to_chrome_trace,
+    to_jsonl,
+    trace_digest,
+    validate_chrome_trace,
+    validate_jsonl,
+)
+from repro.runtime.runner import run_deployment
+from tests.conftest import fast_config
+
+
+@pytest.fixture(scope="module")
+def traced():
+    """One traced semantic run (exercises filter + aggregation hops)."""
+    deployment, report = run_deployment(
+        fast_config(setup="semantic"), obs=ObsConfig(tick_interval=0.1))
+    return deployment.obs, report
+
+
+def test_jsonl_passes_schema_validation(traced):
+    tracer, _report = traced
+    records = validate_jsonl(to_jsonl(tracer))
+    meta = records[0]
+    assert meta["setup"] == "semantic"
+    assert meta["submitted"] == tracer.submitted_total
+    kinds = {record["type"] for record in records[1:]}
+    assert kinds == {"span", "event", "tick"}
+
+
+def test_jsonl_is_ordered_by_time_then_rank(traced):
+    tracer, _report = traced
+    records = validate_jsonl(to_jsonl(tracer))
+    spans = [r for r in records if r["type"] == "span"]
+    ticks = [r for r in records if r["type"] == "tick"]
+    assert len(spans) == len(tracer.spans)
+    assert len(ticks) == len(tracer.sampler.series["t"])
+    # A tick coinciding with a model instant sorts after it (rank 1).
+    span_times = [r["submitted_at"] for r in spans]
+    assert span_times == sorted(span_times)
+
+
+def test_trace_digest_is_deterministic_across_runs():
+    config = fast_config(setup="semantic")
+    digests = []
+    for _ in range(2):
+        deployment, _report = run_deployment(
+            config, obs=ObsConfig(tick_interval=0.1))
+        digests.append(trace_digest(deployment.obs))
+    assert digests[0] == digests[1]
+    assert len(digests[0]) == 64
+
+
+def test_span_records_carry_hop_annotations(traced):
+    tracer, _report = traced
+    records = span_records(tracer)
+    assert any(r["hop_fresh"] > 0 for r in records)
+    # Semantic gossip filters votes for already-decided instances.
+    assert any(r["hop_filtered"] > 0 or r["hop_agg_saved"] > 0
+               for r in records)
+    delivered = [r for r in records if r["delivered_at"] is not None]
+    assert delivered
+    for record in delivered:
+        assert record["submitted_at"] <= record["proposed_at"]
+        assert record["proposed_at"] <= record["decided_at"]
+        assert record["decided_at"] <= record["delivered_at"]
+
+
+def test_chrome_trace_validates_and_decomposes_phases(traced):
+    tracer, _report = traced
+    trace = to_chrome_trace(tracer)
+    events = validate_chrome_trace(trace)
+    slices = [e for e in events if e["ph"] == "X"]
+    names = {e["name"] for e in slices}
+    assert names == {"forward", "quorum", "consensus", "dissemination"}
+    counters = {e["name"] for e in events if e["ph"] == "C"}
+    assert {"delivered", "in_flight", "alive"} <= counters
+    assert any(e["ph"] == "i" for e in events)      # round events
+    # The whole structure must survive JSON serialisation.
+    assert validate_chrome_trace(json.loads(json.dumps(trace)))
+
+
+def test_chrome_slices_use_microseconds(traced):
+    tracer, _report = traced
+    events = validate_chrome_trace(to_chrome_trace(tracer))
+    span = next(iter(tracer.spans.values()))
+    forward = next(e for e in events
+                   if e["ph"] == "X" and e["name"] == "forward"
+                   and e["args"]["value_id"] == span.value_id)
+    assert forward["ts"] == pytest.approx(span.submitted_at * 1e6)
+    assert forward["dur"] == pytest.approx(span.forward_s * 1e6)
+    assert forward["tid"] == span.client_id
+
+
+def test_text_summary_mentions_all_sections(traced):
+    tracer, report = traced
+    text = text_summary(tracer, report)
+    assert "per-phase latency" in text
+    assert "gossip hops:" in text
+    assert "timeline:" in text
+    assert "round events:" in text
+    assert "MetricsReport" in text
+
+
+def test_validators_reject_malformed_input(traced):
+    tracer, _report = traced
+    good = to_jsonl(tracer)
+    with pytest.raises(ValueError):
+        validate_jsonl("")                            # empty trace
+    with pytest.raises(ValueError):
+        validate_jsonl(good.splitlines()[1])          # span before meta
+    lines = good.splitlines()
+    damaged = "\n".join([lines[0], lines[0]])         # duplicate meta
+    with pytest.raises(ValueError):
+        validate_jsonl(damaged)
+    with pytest.raises(ValueError):
+        validate_chrome_trace({"traceEvents": []})
+    with pytest.raises(ValueError):
+        validate_chrome_trace(
+            {"traceEvents": [{"ph": "X", "name": "x", "pid": 1,
+                              "ts": -1.0, "dur": 0.0}]})

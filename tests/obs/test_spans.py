@@ -1,0 +1,226 @@
+"""Unit tests of the span tracer: lifecycle, dedup, hop accounting."""
+
+import pytest
+
+from repro.obs import ObsConfig, PhaseBreakdown, Tracer, payload_value_id
+from repro.obs.spans import ValueSpan
+from tests.conftest import fast_config
+
+
+class FakeSim:
+    """Just a settable virtual clock; hooks read nothing else."""
+
+    def __init__(self):
+        self.now = 0.0
+
+
+def make_tracer(**obs_overrides):
+    params = dict(timeseries=False)
+    params.update(obs_overrides)
+    return Tracer(FakeSim(), fast_config(), ObsConfig(**params))
+
+
+def test_span_lifecycle_durations():
+    tracer = make_tracer()
+    sim = tracer.sim
+    tracer.value_submitted("v1", client_id=2)
+    sim.now = 0.010
+    tracer.value_proposed("v1", instance=1, round_=1, proposer=0)
+    sim.now = 0.060
+    tracer.value_quorum(3, 1, "v1")
+    sim.now = 0.065
+    tracer.value_decided(3, 1, "v1")
+    sim.now = 0.100
+    tracer.value_delivered("v1", client_id=2)
+
+    span = tracer.spans["v1"]
+    assert span.client_id == 2
+    assert span.instance == 1
+    assert span.quorum_process == 3
+    assert span.decide_process == 3
+    assert span.forward_s == pytest.approx(0.010)
+    assert span.quorum_s == pytest.approx(0.050)
+    assert span.consensus_s == pytest.approx(0.055)
+    assert span.dissemination_s == pytest.approx(0.035)
+    assert span.total_s == pytest.approx(0.100)
+    assert tracer.submitted_total == 1
+    assert tracer.decided_total == 1
+    assert tracer.delivered_total == 1
+
+
+def test_incomplete_span_durations_are_none():
+    tracer = make_tracer()
+    tracer.value_submitted("v1", client_id=0)
+    span = tracer.spans["v1"]
+    assert span.forward_s is None
+    assert span.quorum_s is None
+    assert span.consensus_s is None
+    assert span.dissemination_s is None
+    assert span.total_s is None
+
+
+def test_first_propose_wins_later_ones_count_as_reproposals():
+    tracer = make_tracer()
+    tracer.value_submitted("v1", client_id=0)
+    tracer.sim.now = 0.01
+    tracer.value_proposed("v1", 1, 1, 0)
+    tracer.sim.now = 0.50
+    tracer.value_proposed("v1", 1, 9, 4)   # takeover re-proposal
+    span = tracer.spans["v1"]
+    assert span.proposed_at == pytest.approx(0.01)
+    assert span.round == 1
+    assert span.proposer == 0
+    assert span.reproposals == 1
+
+
+def test_first_quorum_and_decide_win():
+    tracer = make_tracer()
+    tracer.value_submitted("v1", client_id=0)
+    tracer.sim.now = 0.02
+    tracer.value_quorum(1, 1, "v1")
+    tracer.value_decided(1, 1, "v1")
+    tracer.sim.now = 0.07
+    tracer.value_quorum(5, 1, "v1")
+    tracer.value_decided(5, 1, "v1")
+    span = tracer.spans["v1"]
+    assert span.quorum_at == pytest.approx(0.02)
+    assert span.quorum_process == 1
+    assert span.decided_at == pytest.approx(0.02)
+    assert span.decide_process == 1
+    # ... but the decision's spread is still tracked.
+    assert span.decide_count == 2
+    assert span.last_decided_at == pytest.approx(0.07)
+    assert tracer.decided_total == 1
+
+
+def test_decided_total_counts_distinct_values_without_spans():
+    tracer = make_tracer(spans=False, hops=False)
+    tracer.value_submitted("v1", client_id=0)
+    assert tracer.spans == {}
+    tracer.value_decided(0, 1, "v1")
+    tracer.value_decided(1, 1, "v1")
+    tracer.value_decided(0, 2, "v2")
+    assert tracer.submitted_total == 1
+    assert tracer.decided_total == 2
+
+
+def test_unknown_value_hooks_are_ignored():
+    tracer = make_tracer()
+    tracer.value_proposed("ghost", 1, 1, 0)
+    tracer.value_quorum(0, 1, "ghost")
+    tracer.value_delivered("ghost", 0)
+    assert tracer.spans == {}
+    assert tracer.delivered_total == 1   # delivery counter is global
+
+
+class _Vote:
+    def __init__(self, value_id):
+        self.value_id = value_id
+
+
+def test_hop_accounting_and_cap():
+    tracer = make_tracer(max_hops_per_value=2)
+    tracer.value_submitted("v1", client_id=0)
+    vote = _Vote("v1")
+    tracer.gossip_receive(1, 0, vote, fresh=True)
+    tracer.gossip_receive(2, 0, vote, fresh=False)
+    tracer.gossip_filtered(3, 1, vote)        # over the cap: counted only
+    span = tracer.spans["v1"]
+    assert span.hop_fresh == 1
+    assert span.hop_dup == 1
+    assert span.hop_filtered == 1
+    assert [hop[3] for hop in span.hops] == ["fresh", "dup"]
+    assert span.hops_dropped == 1
+
+
+def test_aggregation_hop_accumulates_saved():
+    tracer = make_tracer()
+    tracer.value_submitted("v1", client_id=0)
+    vote = _Vote("v1")
+    tracer.gossip_aggregated(1, 2, vote, saved=3)
+    tracer.gossip_aggregated(4, 5, vote, saved=1)
+    span = tracer.spans["v1"]
+    assert span.hop_agg_saved == 4
+    assert [hop[3] for hop in span.hops] == ["agg", "agg"]
+
+
+def test_hops_disabled_skips_annotations():
+    tracer = make_tracer(hops=False)
+    tracer.value_submitted("v1", client_id=0)
+    tracer.gossip_receive(1, 0, _Vote("v1"), fresh=True)
+    span = tracer.spans["v1"]
+    assert span.hop_fresh == 0
+    assert span.hops == []
+
+
+def test_round_events_share_the_seq_counter_with_spans():
+    tracer = make_tracer()
+    tracer.value_submitted("v1", client_id=0)
+    tracer.round_event("phase1_quorum", coordinator=0, round=1)
+    tracer.value_submitted("v2", client_id=1)
+    (event,) = tracer.events
+    seq, _t, kind, details = event
+    assert kind == "phase1_quorum"
+    assert details == {"coordinator": 0, "round": 1}
+    assert tracer.spans["v1"].seq < seq < tracer.spans["v2"].seq
+
+
+def test_payload_value_id_shapes():
+    class WithValue:
+        def __init__(self):
+            self.value = _Vote("a")
+            self.value.value_id = "a"
+
+    class Entry:
+        def __init__(self):
+            self.value = WithValue().value
+
+    class AppendEntries:
+        def __init__(self):
+            self.entry = Entry()
+
+    class Heartbeat:
+        pass
+
+    assert payload_value_id(_Vote("x")) == "x"
+    assert payload_value_id(WithValue()) == "a"
+    assert payload_value_id(AppendEntries()) == "a"
+    assert payload_value_id(Heartbeat()) is None
+
+
+def _span(value_id, seq, submitted, proposed=None, quorum=None,
+          decided=None, delivered=None):
+    span = ValueSpan(value_id, 0, seq, submitted)
+    span.proposed_at = proposed
+    span.quorum_at = quorum
+    span.decided_at = decided
+    span.delivered_at = delivered
+    return span
+
+
+def test_phase_breakdown_excludes_incomplete_spans():
+    spans = [
+        _span("a", 0, 0.0, proposed=0.01, quorum=0.05, decided=0.05,
+              delivered=0.08),
+        _span("b", 1, 0.0, proposed=0.03),          # never decided
+        _span("c", 2, 0.0),                         # never proposed
+    ]
+    breakdown = PhaseBreakdown(spans)
+    assert breakdown.percentiles("forward")["count"] == 2
+    assert breakdown.percentiles("consensus")["count"] == 1
+    assert breakdown.percentiles("total")["count"] == 1
+    assert breakdown.percentiles("total")["max_s"] == pytest.approx(0.08)
+    # Empty phases summarise to zeros rather than crashing.
+    assert PhaseBreakdown([]).percentiles("quorum")["mean_s"] == 0.0
+
+
+def test_phase_breakdown_rows_match_headers():
+    breakdown = PhaseBreakdown([
+        _span("a", 0, 0.0, proposed=0.01, quorum=0.02, decided=0.02,
+              delivered=0.03),
+    ])
+    rows = breakdown.rows()
+    assert len(rows) == 5
+    assert all(len(row) == len(PhaseBreakdown.HEADERS) for row in rows)
+    assert [row[0] for row in rows] == [
+        "forward", "quorum", "consensus", "dissemination", "total"]

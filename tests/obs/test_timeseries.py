@@ -1,0 +1,113 @@
+"""Timeline sampler tests over real (small) traced runs."""
+
+import pytest
+
+from repro.obs import ObsConfig
+from repro.runtime.runner import run_deployment
+from tests.conftest import fast_config
+
+
+TICK = 0.1
+
+
+@pytest.fixture(scope="module")
+def traced():
+    """One traced fail-free gossip run shared by the module's tests."""
+    deployment, report = run_deployment(
+        fast_config(), obs=ObsConfig(tick_interval=TICK))
+    return deployment, report
+
+
+def test_columns_cover_the_run_on_a_fixed_grid(traced):
+    deployment, _report = traced
+    series = deployment.obs.sampler.series
+    ts = series["t"]
+    assert ts, "sampler recorded no buckets"
+    for index, t in enumerate(ts):
+        assert t == pytest.approx((index + 1) * TICK)
+    # Every column has exactly one entry per bucket.
+    for key, column in series.items():
+        assert len(column) == len(ts), key
+    assert ts[-1] <= deployment.config.end_of_run
+
+
+def test_bucket_deltas_sum_to_run_totals(traced):
+    deployment, _report = traced
+    tracer = deployment.obs
+    series = tracer.sampler.series
+    assert sum(series["submitted"]) == tracer.submitted_total
+    assert sum(series["decided"]) == tracer.decided_total
+    assert sum(series["delivered"]) == tracer.delivered_total
+    assert series["in_flight"][-1] == (
+        tracer.submitted_total - tracer.delivered_total)
+    assert all(x >= 0 for x in series["in_flight"])
+
+
+def test_lifecycle_counters_match_the_report(traced):
+    deployment, report = traced
+    tracer = deployment.obs
+    assert tracer.submitted_total == report.submitted
+    assert tracer.decided_total == report.decided
+    assert sum(tracer.sampler.series["retransmissions"]) == \
+        report.messages.retransmissions
+
+
+def test_utilization_columns_are_sane(traced):
+    deployment, _report = traced
+    series = deployment.obs.sampler.series
+    regions = sorted({deployment.topology.region_name(i)
+                      for i in range(deployment.config.n)})
+    for region in regions:
+        column = series["link_util:" + region]
+        assert all(x >= 0.0 for x in column)
+    for index, total in enumerate(series["link_util_total"]):
+        split = sum(series["link_util:" + region][index]
+                    for region in regions)
+        assert total == pytest.approx(split)
+    assert max(series["link_util_total"]) > 0.0
+    assert all(0.0 <= x <= 1.0 + 1e-9
+               for x in series["cpu_utilization_mean"])
+
+
+def test_failfree_run_has_full_membership_and_no_partitions(traced):
+    deployment, _report = traced
+    series = deployment.obs.sampler.series
+    assert set(series["alive"]) == {deployment.config.n}
+    assert set(series["partition_active"]) == {0}
+
+
+def test_summary_headlines(traced):
+    deployment, report = traced
+    summary = deployment.obs.sampler.summary()
+    series = deployment.obs.sampler.series
+    assert summary["ticks"] == len(series["t"])
+    assert summary["tick_interval_s"] == TICK
+    assert summary["peak_throughput"] >= summary["mean_throughput"] > 0
+    assert summary["peak_in_flight"] == max(series["in_flight"])
+    assert summary["min_alive"] == deployment.config.n
+    assert summary["partition_ticks"] == 0
+    assert summary["retransmissions"] == report.messages.retransmissions
+
+
+def test_rows_are_per_bucket_views(traced):
+    deployment, _report = traced
+    sampler = deployment.obs.sampler
+    rows = sampler.rows()
+    assert len(rows) == len(sampler.series["t"])
+    assert rows[0]["t"] == pytest.approx(TICK)
+    assert set(rows[0]) == set(sampler.series)
+
+
+def test_partition_window_shows_up_in_the_timeline():
+    from repro.net.faults.events import Heal, Partition
+
+    config = fast_config(retransmit_timeout=0.25, drain=3.0,
+                         faults=((0.8, Partition([(5, 6)])),
+                                 (1.2, Heal())))
+    deployment, _report = run_deployment(
+        config, obs=ObsConfig(tick_interval=TICK))
+    series = deployment.obs.sampler.series
+    # Exactly the ticks inside (0.8, 1.2] see the open window.
+    for index, t in enumerate(series["t"]):
+        expected = 1 if 0.8 <= t < 1.2 else 0
+        assert series["partition_active"][index] == expected, t

@@ -59,10 +59,24 @@ def test_collector_first_decision_wins():
     assert record.decided_at == 2.0
 
 
-def test_collector_ignores_unknown_value():
+def test_collector_counts_unknown_decisions():
     collector = MetricsCollector()
-    collector.record_decided("ghost", 1.0)  # no crash
+    collector.record_decided("ghost", 1.0)  # no crash, but accounted
     assert list(collector.records()) == []
+    assert collector.decisions_unknown == 1
+    assert collector.decisions_duplicate == 0
+
+
+def test_collector_counts_duplicate_decisions():
+    collector = MetricsCollector()
+    collector.record_submit("v1", 0, 1.0)
+    collector.record_decided("v1", 2.0)
+    collector.record_decided("v1", 9.0)
+    collector.record_decided("v1", 9.5)
+    assert collector.decisions_duplicate == 2
+    assert collector.decisions_unknown == 0
+    (record,) = collector.records()
+    assert record.decided_at == 2.0   # first decision still wins
 
 
 def test_undecided_record_has_none():
@@ -89,6 +103,29 @@ def test_message_stats_fault_fields_default_empty():
     assert stats.fault_link_loss_drops == 0
     assert stats.fault_burst_drops == 0
     assert stats.partition_windows == []
+
+
+def test_message_stats_decision_anomalies_default_to_class_attrs():
+    stats = MessageStats()
+    assert stats.decisions_unknown == 0
+    assert stats.decisions_duplicate == 0
+    # Defaults live on the class so the fingerprint's __dict__ walk never
+    # sees them; they materialise on the instance only when nonzero.
+    assert "decisions_unknown" not in vars(stats)
+    assert "decisions_duplicate" not in vars(stats)
+
+
+def test_failfree_run_reports_no_decision_anomalies():
+    from repro.runtime.runner import run_deployment
+    from tests.conftest import fast_config
+
+    deployment, report = run_deployment(fast_config())
+    assert deployment.collector.decisions_unknown == 0
+    assert deployment.collector.decisions_duplicate == 0
+    assert report.messages.decisions_unknown == 0
+    # Zero counters stay class-level, keeping the fingerprint unchanged.
+    assert "decisions_unknown" not in vars(report.messages)
+    assert "decisions_duplicate" not in vars(report.messages)
 
 
 def test_delivery_ratio():

@@ -113,3 +113,25 @@ def test_latency_cdf_monotone():
     assert xs == sorted(xs)
     assert ys == sorted(ys)
     assert ys[-1] <= 1.0
+
+
+def test_latency_cdf_always_ends_at_the_max_sample():
+    """Regression: stride subsampling used to drop the final sample, so
+    the curve could stop short of (max latency, 1.0)."""
+    report = run_experiment(fast_config())
+    latencies = sorted(report.latencies_s)
+    # Pick point counts that do not divide the sample count evenly.
+    for points in (3, 7, len(latencies) - 1, len(latencies), 500):
+        cdf = report.latency_cdf(points=points)
+        assert cdf[-1] == (latencies[-1], pytest.approx(1.0))
+
+
+def test_p99_and_p999_properties():
+    report = run_experiment(fast_config())
+    assert report.p99_latency_s == report.latency_percentile_s(99)
+    assert report.p999_latency_s == report.latency_percentile_s(99.9)
+    assert report.median_latency_s <= report.p99_latency_s \
+        <= report.p999_latency_s <= max(report.latencies_s)
+    text = repr(report)
+    assert "p99=" in text
+    assert "p999=" in text
