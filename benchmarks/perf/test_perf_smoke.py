@@ -10,9 +10,11 @@ Three checks per run:
   implementation property, precisely what hot-path optimisation changes.
 * **Throughput** — events/sec must stay within ``TOLERANCE`` of baseline.
 * **Virtual-time advantage** — the fast path must keep beating the
-  event-per-job reference servers: ≥ 25% fewer scheduled kernel events on
-  fig3_workload (machine-independent) and ≥ 1.2x wall-clock on
-  fig8_saturation (measured fresh, both sides on this host).
+  event-per-job reference servers: ≥ 55% fewer scheduled kernel events on
+  fig3_workload (machine-independent; measured 61% after the batched
+  gossip rounds) and ≥ 1.2x wall-clock on fig8_saturation (measured
+  fresh, both sides on this host — kept loose because wall-clock ratios
+  are noisy on shared CI hosts).
 
 Regenerate the baseline deliberately with ``REPRO_PERF_UPDATE=1`` or
 ``python -m benchmarks.perf --update``.
@@ -31,7 +33,7 @@ REPEATS = int(os.environ.get("REPRO_PERF_REPEATS", "3"))
 COMPARISON_REPEATS = int(os.environ.get("REPRO_PERF_COMPARISON_REPEATS", "4"))
 #: Acceptance floors for the virtual-time servers vs the legacy reference.
 EVENT_REDUCTION_FLOOR = float(
-    os.environ.get("REPRO_PERF_EVENT_REDUCTION_FLOOR", "0.25"))
+    os.environ.get("REPRO_PERF_EVENT_REDUCTION_FLOOR", "0.55"))
 SPEEDUP_FLOOR = float(os.environ.get("REPRO_PERF_SPEEDUP_FLOOR", "1.2"))
 
 

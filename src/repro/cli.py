@@ -261,8 +261,11 @@ def cmd_perf(args):
 
     from repro.perf import (
         SCENARIOS,
+        compare_payloads,
+        format_queue_mixes,
         host_info,
         measure_legacy_comparison,
+        measure_queue_mixes,
         measure_scenario,
         measure_speedup,
     )
@@ -271,6 +274,14 @@ def cmd_perf(args):
         result = measure_speedup(workers=args.workers or 4)
         print(json.dumps(result, indent=2, sort_keys=True))
         return 0 if result["identical"] else 1
+
+    if args.queues:
+        payload = measure_queue_mixes(repeats=args.repeats)
+        if args.json:
+            print(json.dumps(payload, indent=2, sort_keys=True))
+        else:
+            print(format_queue_mixes(payload))
+        return 0
 
     if args.profile:
         from repro.perf import profile_scenario
@@ -306,6 +317,43 @@ def cmd_perf(args):
         "scenarios": {name: measure_scenario(name, repeats=args.repeats)
                       for name in names},
     }
+    if args.compare is not None:
+        try:
+            with open(args.compare) as fh:
+                baseline = json.load(fh)
+        except (OSError, ValueError) as exc:
+            print("repro perf: cannot read baseline {!r}: {}".format(
+                args.compare, exc), file=sys.stderr)
+            return 2
+        deltas = compare_payloads(payload, baseline)
+        if args.json:
+            print(json.dumps({"baseline": args.compare, "deltas": deltas},
+                             indent=2, sort_keys=True))
+            return 0
+        rows = []
+        for row in deltas:
+            if row["baseline_events_per_sec"] is None:
+                rows.append([row["scenario"],
+                             "{:,.0f}".format(row["events_per_sec"]), "-", "-",
+                             "{:.0f}".format(row["peak_mem_kb"]), "-", "-",
+                             "not in baseline"])
+                continue
+            rows.append([
+                row["scenario"],
+                "{:,.0f}".format(row["events_per_sec"]),
+                "{:,.0f}".format(row["baseline_events_per_sec"]),
+                "{:+.1%}".format(row["events_per_sec_ratio"] - 1.0),
+                "{:.0f}".format(row["peak_mem_kb"]),
+                "{:.0f}".format(row["baseline_peak_mem_kb"]),
+                "{:+.1%}".format(row["peak_mem_ratio"] - 1.0),
+                "ok" if row["fingerprint_match"] else "DIVERGED",
+            ])
+        print(format_table(
+            ["scenario", "events/s", "base", "delta", "peak KiB",
+             "base KiB", "delta", "fingerprint"],
+            rows, title="vs baseline {}".format(args.compare)))
+        return 0
+
     if args.scenario == "all":
         payload["legacy_comparison"] = measure_legacy_comparison(
             repeats=args.repeats)
@@ -443,6 +491,14 @@ def build_parser():
     p.add_argument("--speedup", action="store_true",
                    help="measure the parallel loss_grid speedup instead "
                         "of the events/sec scenarios")
+    p.add_argument("--queues", action="store_true",
+                   help="run the isolated event-queue microbenchmarks "
+                        "(push/pop/cancel mixes, both backends)")
+    p.add_argument("--compare", metavar="BASELINE.json", default=None,
+                   help="measure the selected scenarios and print "
+                        "events/sec and peak-mem deltas vs a saved "
+                        "baseline payload (e.g. benchmarks/perf/"
+                        "BENCH_perf.json)")
     p.add_argument("--profile", action="store_true",
                    help="run one scenario under cProfile and print the "
                         "hottest functions (default scenario: fig5_latency)")

@@ -88,7 +88,8 @@ class _PeerSender:
     """
 
     __slots__ = ("node", "sim", "peer_id", "link", "queue", "pending",
-                 "capacity", "_free_at", "_wakeup_armed", "_wakeup_seq")
+                 "capacity", "_free_at", "_wakeup_armed", "_wakeup_seq",
+                 "_wakeup_event", "_round")
 
     def __init__(self, node, peer_id, link, capacity):
         self.node = node
@@ -101,6 +102,8 @@ class _PeerSender:
         self._free_at = 0.0      # link serialises our traffic until then
         self._wakeup_armed = False   # a wake-up (or on_wire) is outstanding
         self._wakeup_seq = 0     # reserved tie-break slot for the wake-up
+        self._wakeup_event = None    # handle, valid only while armed
+        self._round = []         # (completion, seq) per chained message
 
     @property
     def busy(self):
@@ -120,8 +123,8 @@ class _PeerSender:
             # reserved slot makes the wake-up fire in the heap position
             # the reference implementation gave its completion event.
             self._wakeup_armed = True
-            self.sim.push_event(self._free_at, self._wakeup, (),
-                                self._wakeup_seq)
+            self._wakeup_event = self.sim.push_event(
+                self._free_at, self._wakeup, (), self._wakeup_seq)
             return
         self._pump()
 
@@ -129,6 +132,22 @@ class _PeerSender:
         """Prepare the next batch (validate + aggregate) and start sending."""
         node = self.node
         hooks = node.hooks
+        queue = self.queue
+        if not self.pending and len(queue) == 1:
+            # Single queued message — the overwhelmingly common case below
+            # saturation — skips the batch-list machinery: same validate,
+            # same hook charge, same transmit, no list copies.
+            payload = queue.popleft()
+            if hooks.validate(payload, self.peer_id):
+                self._charge_hooks(1)
+                self._transmit(payload)
+            else:
+                node.stats.filtered += 1
+                if node.obs is not None:
+                    node.obs.gossip_filtered(node.process_id, self.peer_id,
+                                             payload)
+                self._charge_hooks(1)
+            return
         examined = 0   # messages run through validate/aggregate this pump
         while not self.pending:
             if not self.queue:
@@ -164,7 +183,39 @@ class _PeerSender:
                                     max(0, len(getattr(p, "senders", ())) - 1))
             self.pending.extend(kept)
         self._charge_hooks(examined)
-        self._transmit(self.pending.popleft())
+        if self.link.fast_path:
+            self._send_round()
+        else:
+            self._transmit(self.pending.popleft())
+
+    def _send_round(self):
+        """Commit the whole validated batch to the wire arithmetically.
+
+        On a fast-path link every serialisation completion in the round
+        is known now (FIFO chain: each message starts when its
+        predecessor finishes), so the entire batch is chained onto the
+        transmission server in one pass — zero wake-up events instead of
+        one per message. Each message's tie-break slot is still reserved
+        immediately before its transmit, exactly where the per-message
+        pump reserved it, so a wake-up lazily armed later (by an enqueue
+        mid-round) fires in the reference's heap position at the
+        reference's instant: the end of the round, which is when the
+        per-message pump first looked at the queue again.
+        """
+        sim = self.sim
+        reserve = sim.reserve_slot
+        chain = self.link.transmit_chained
+        pending = self.pending
+        round_tail = self._round
+        round_tail.clear()
+        seq = self._wakeup_seq
+        completion = self._free_at
+        while pending:
+            seq = reserve()
+            completion = chain(pending.popleft())
+            round_tail.append((completion, seq))
+        self._wakeup_seq = seq
+        self._free_at = completion
 
     def _charge_hooks(self, examined):
         """Charge ``hook_s`` CPU per message examined by validate/aggregate.
@@ -180,7 +231,7 @@ class _PeerSender:
             return
         service = examined * node.costs.hook_s
         if service > 0.0:
-            node._cpu_submit(service, _noop)
+            node._cpu_acct(service)
 
     def _transmit(self, payload):
         sim = self.sim
@@ -204,23 +255,26 @@ class _PeerSender:
         self._free_at = completion
         if (self.pending or self.queue) and not self._wakeup_armed:
             self._wakeup_armed = True
-            sim.push_event(completion, self._wakeup, (), seq)
+            self._wakeup_event = sim.push_event(completion, self._wakeup,
+                                                (), seq)
 
     def _wakeup(self):
         self._wakeup_armed = False
+        self._wakeup_event = None
         if self.sim.now < self._free_at:
             # The link was re-busied at this very instant (an enqueue at
             # the completion time pumped first); re-arm for the new
             # completion if there is still work to pace.
             if self.pending or self.queue:
                 self._wakeup_armed = True
-                self.sim.schedule_at_reserved(self._free_at,
-                                              self._wakeup_seq, self._wakeup)
+                self._wakeup_event = self.sim.push_event(
+                    self._free_at, self._wakeup, (), self._wakeup_seq)
             return
         self._resume()
 
     def _paced_wakeup(self):
         self._wakeup_armed = False
+        self._wakeup_event = None
         self._free_at = self.sim.now   # the link just freed
         self._resume()
 
@@ -229,6 +283,31 @@ class _PeerSender:
             self._transmit(self.pending.popleft())
         else:
             self._pump()
+
+    def abort_round(self):
+        """Withdraw the committed-but-unserialised tail of the round.
+
+        Crash semantics: the per-message reference pump never submitted
+        messages it had not reached when the node crashed, so a batched
+        round's chain entries beyond the message in service are
+        un-committed (that message is on the wire and still arrives, as
+        in the reference). The pacing state rolls back to the in-service
+        message — including re-targeting a lazily-armed wake-up to the
+        instant and reserved slot the reference's wake-up would occupy,
+        so a post-recovery enqueue pumps at the reference's instant.
+        """
+        removed = self.link.abort_pending_chain()
+        if not removed:
+            return
+        round_tail = self._round
+        del round_tail[-removed:]
+        completion, seq = round_tail[-1]
+        self._free_at = completion
+        self._wakeup_seq = seq
+        if self._wakeup_armed and self._wakeup_event is not None:
+            self.sim.cancel(self._wakeup_event)
+            self._wakeup_event = self.sim.push_event(
+                completion, self._wakeup, (), seq)
 
 
 class GossipNode(Actor):
@@ -267,6 +346,15 @@ class GossipNode(Actor):
         #: event-per-job reference) fall back to ``submit``. The return
         #: value is never used at these call sites.
         self._cpu_submit = getattr(self.cpu, "submit_timed", None) or self.cpu.submit
+        #: Accounting-only CPU charge (no callback): virtual-time servers
+        #: provide ``submit_acct`` (no varargs packing, no callback
+        #: checks); the event-per-job reference falls back to a ``noop``
+        #: submission — exactly the call the old code made, so the A/B
+        #: discipline is preserved.
+        cpu_acct = getattr(self.cpu, "submit_acct", None)
+        if cpu_acct is None:
+            cpu_acct = self._make_legacy_acct()
+        self._cpu_acct = cpu_acct
         #: Whether hook CPU time (``costs.hook_s``) is charged on the send
         #: path. Decided once against the hooks installed at construction,
         #: so observational wrappers attached later (e.g. the safety
@@ -283,6 +371,14 @@ class GossipNode(Actor):
         self._send_queue_capacity = send_queue_capacity
         transport.on_receive(self._on_link_receive)
 
+    def _make_legacy_acct(self):
+        submit = self._cpu_submit
+
+        def cpu_acct(service):
+            submit(service, _noop)
+
+        return cpu_acct
+
     # -- wiring ----------------------------------------------------------
 
     def start(self):
@@ -292,11 +388,18 @@ class GossipNode(Actor):
         """Stop periodic activity; a no-op for plain push gossip."""
 
     def crash(self):
-        """Stop participating: drop inbound traffic, lose queued sends."""
+        """Stop participating: drop inbound traffic, lose queued sends.
+
+        A batched round committed to a link is rolled back to the message
+        in service (see :meth:`_PeerSender.abort_round`) — matching the
+        per-message pump, which would simply never have transmitted the
+        rest of the round.
+        """
         self.alive = False
         for sender in self._senders.values():
             sender.queue.clear()
             sender.pending.clear()
+            sender.abort_round()
 
     def recover(self):
         """Resume participation (the dedup cache survived on purpose:
@@ -339,13 +442,30 @@ class GossipNode(Actor):
     def _on_link_receive(self, src, payload):
         if not self.alive:
             return
-        self.stats.received += 1
+        stats = self.stats
+        stats.received += 1
         costs = self.costs
-        if payload.aggregated:
-            parts = self.hooks.disaggregate(payload)
-            self.stats.disaggregated += len(parts)
-        else:
-            parts = (payload,)
+        if not payload.aggregated:
+            # Single-part fast path: no part list, no service accumulator
+            # loop — identical charges and pushes, common-case receive.
+            obs = self.obs
+            if self.cache.register(payload.uid):
+                if obs is not None:
+                    obs.gossip_receive(self.process_id, src, payload, True)
+                fanout = len(self._senders) - 1
+                if fanout < 0:
+                    fanout = 0
+                service = costs.recv_fresh_s + fanout * costs.send_per_peer_s
+                self._cpu_submit(service, self._complete_receive_one,
+                                 payload, src)
+            else:
+                stats.duplicates += 1
+                if obs is not None:
+                    obs.gossip_receive(self.process_id, src, payload, False)
+                self._cpu_acct(costs.recv_dup_s)
+            return
+        parts = self.hooks.disaggregate(payload)
+        self.stats.disaggregated += len(parts)
         fresh = []
         service = 0.0
         duplicates = 0
@@ -366,11 +486,15 @@ class GossipNode(Actor):
         # the paper's §4.3 per-message semantics.
         self.stats.duplicates += duplicates
         if not fresh:
-            self._cpu_submit(service, _noop)
+            self._cpu_acct(service)
             return
         fanout = max(0, len(self._senders) - 1)
         service += len(fresh) * fanout * costs.send_per_peer_s
         self._cpu_submit(service, self._complete_receive, fresh, src)
+
+    def _complete_receive_one(self, payload, src):
+        self._deliver(payload)
+        self._forward(payload, exclude=src)
 
     def _complete_receive(self, fresh, src):
         for part in fresh:

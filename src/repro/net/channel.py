@@ -76,8 +76,8 @@ class DirectedLink:
 
     __slots__ = (
         "sim", "src", "dst", "latency_s", "config", "_stats",
-        "_server", "_submit_timed", "_submit_fast", "_in_flight",
-        "_jitter_rng", "_deliver",
+        "_server", "_submit_timed", "_submit_fast", "_submit_chain",
+        "_in_flight", "_jitter_rng", "_deliver", "_arrive_cb",
         "loss_hook", "_base_latency_s", "_base_config", "_base_jitter_rng",
     )
 
@@ -108,6 +108,10 @@ class DirectedLink:
         # without submit_timed (the legacy reference) disables it.
         self._submit_timed = getattr(self._server, "submit_timed", None)
         self._submit_fast = getattr(self._server, "submit_fast", None)
+        self._submit_chain = getattr(self._server, "submit_chain", None)
+        # One bound method reused for every hop: creating `self._arrive`
+        # per transmission is a measurable share of hot-path allocation.
+        self._arrive_cb = self._arrive
         #: Fast-path messages not yet drained into ``stats.sent``, as
         #: (serialisation_completion, size_bytes, payload, arrive_event)
         #: in completion order.
@@ -196,10 +200,60 @@ class DirectedLink:
         # completion >= now by construction, so the arrival can take the
         # kernel's unchecked hot path.
         event = sim.push_event(completion + self.latency_s,
-                               self._arrive, (payload,))
+                               self._arrive_cb, (payload,))
         self._in_flight.append((completion, payload.size_bytes,
                                 payload, event))
         return completion
+
+    def transmit_chained(self, payload):
+        """Chain a payload behind the link's committed work; fast path only.
+
+        The batched gossip pump calls this for every message of a
+        validated round in one go: each serialisation is appended to the
+        transmission server's busy tail (:meth:`FifoServer.submit_chain`)
+        and exactly one arrival event is armed at its arithmetic
+        completion — the same ``(time, seq)`` positions a per-message pump
+        paced by wake-up events would have produced. Callers must check
+        :attr:`fast_path` first; chains never drop (the sender paces
+        itself, so chain entries model pacing, not queue contention).
+        Returns the serialisation completion.
+        """
+        config = self.config
+        service = config.per_message_s + payload.size_bytes * config.per_byte_s
+        completion = self._submit_chain(service)
+        event = self.sim.push_event(completion + self.latency_s,
+                                    self._arrive_cb, (payload,))
+        self._in_flight.append((completion, payload.size_bytes,
+                                payload, event))
+        return completion
+
+    def abort_pending_chain(self):
+        """Withdraw chained messages that have not started serialising.
+
+        Called when the sending node crashes mid-round: the reference
+        pump would simply never have transmitted the rest of the round.
+        The message in service stays — it is on the wire and arrives, as
+        it does in the reference — while queued chain entries are removed
+        from the transmission server and their pre-armed arrival events
+        cancelled. Entries already converted to the legacy path by
+        :meth:`degrade` are no longer in ``_in_flight`` and are left
+        alone. Returns the number of withdrawn messages.
+        """
+        server = self._server
+        abort = getattr(server, "abort_queued", None)
+        if abort is None or not self._in_flight:
+            # No abort hook (legacy server), or a mid-round degrade moved
+            # the chain onto the legacy serialisation path (emptying
+            # ``_in_flight``): those messages' serialisation events are
+            # armed and will fire, so their server jobs must stand.
+            return 0
+        removed, busy_until = abort(self.sim.now)
+        if removed:
+            in_flight = self._in_flight
+            sim = self.sim
+            while in_flight and in_flight[-1][0] > busy_until:
+                sim.cancel(in_flight.pop()[3])
+        return removed
 
     def transmit(self, payload, on_wire=None):
         """Send a payload towards ``dst``.
@@ -221,12 +275,12 @@ class DirectedLink:
             if completion is None:
                 return False
             sim = self.sim
-            event = sim.schedule_at(completion + self.latency_s,
-                                    self._arrive, payload)
+            event = sim.push_event(completion + self.latency_s,
+                                   self._arrive_cb, (payload,))
             self._in_flight.append((completion, payload.size_bytes,
                                     payload, event))
             if on_wire is not None:
-                sim.schedule_at(completion, on_wire)
+                sim.push_event(completion, on_wire, ())
             return True
         return self._server.submit(service, self._on_serialised, payload, on_wire)
 
@@ -245,7 +299,7 @@ class DirectedLink:
         delay = self.latency_s
         if self._jitter_rng is not None:
             delay += self._jitter_rng.uniform(0.0, self.config.jitter_s)
-        self.sim.schedule(delay, self._arrive, payload)
+        self.sim.schedule(delay, self._arrive_cb, payload)
         if on_wire is not None:
             on_wire()
 

@@ -8,6 +8,7 @@ the pytest gate and delegates all measurement here.
 
 from repro.perf.scenarios import OVERLAY_SEED, SCENARIOS
 from repro.perf.measure import (
+    compare_payloads,
     host_info,
     measure_all,
     measure_legacy_comparison,
@@ -15,13 +16,17 @@ from repro.perf.measure import (
     measure_speedup,
 )
 from repro.perf.profile import profile_scenario
+from repro.perf.queuebench import format_queue_mixes, measure_queue_mixes
 
 __all__ = [
     "OVERLAY_SEED",
     "SCENARIOS",
+    "compare_payloads",
+    "format_queue_mixes",
     "host_info",
     "measure_all",
     "measure_legacy_comparison",
+    "measure_queue_mixes",
     "measure_scenario",
     "measure_speedup",
     "profile_scenario",

@@ -143,6 +143,45 @@ def measure_legacy_comparison(repeats=3):
     }
 
 
+def compare_payloads(current, baseline):
+    """Per-scenario deltas between two baseline-shaped payloads.
+
+    Returns one row dict per scenario in ``current``: measured and
+    baseline events/sec and peak-mem, their ratios, and whether the
+    report fingerprints still match (a perf delta on a *different*
+    computation is not a perf delta). Scenarios absent from the baseline
+    get ``baseline: None`` rows instead of being skipped, so a rename
+    never silently drops a comparison.
+    """
+    rows = []
+    base_scenarios = baseline.get("scenarios", {})
+    for name in sorted(current.get("scenarios", {})):
+        measured = current["scenarios"][name]
+        base = base_scenarios.get(name)
+        row = {
+            "scenario": name,
+            "events_per_sec": measured["events_per_sec"],
+            "peak_mem_kb": measured["peak_mem_kb"],
+        }
+        if base is None:
+            row.update(baseline_events_per_sec=None, events_per_sec_ratio=None,
+                       baseline_peak_mem_kb=None, peak_mem_ratio=None,
+                       fingerprint_match=None)
+        else:
+            row.update(
+                baseline_events_per_sec=base["events_per_sec"],
+                events_per_sec_ratio=round(
+                    measured["events_per_sec"] / base["events_per_sec"], 3),
+                baseline_peak_mem_kb=base["peak_mem_kb"],
+                peak_mem_ratio=round(
+                    measured["peak_mem_kb"] / base["peak_mem_kb"], 3),
+                fingerprint_match=(
+                    measured["fingerprint"] == base.get("fingerprint")),
+            )
+        rows.append(row)
+    return rows
+
+
 def measure_speedup(workers=4, runs_per_cell=2):
     """Fig. 6-style loss grid, serial vs. ``workers`` processes.
 

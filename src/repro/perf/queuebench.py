@@ -1,0 +1,142 @@
+"""Isolated event-queue microbenchmarks.
+
+The full-scenario numbers in :mod:`repro.perf.measure` mix queue cost
+with model cost (gossip pumps, server accounting, RNG draws), so a queue
+regression can hide behind a model win or vice versa. These mixes time
+the queue backends alone, on op distributions shaped like the simulator's
+real traffic:
+
+* ``push_pop``    — bulk load then full drain: the throughput shape of a
+  run's warmup and final drain phases.
+* ``interleaved`` — steady state: a held population with one push per
+  pop, short-horizon times like link arrivals. This is the regime the
+  timing wheel targets (heap sift depth grows with the population; the
+  wheel's bucket append does not).
+* ``cancel_heavy``— the retransmission-timer shape: every other entry is
+  cancelled before its time, repeatedly forcing lazy-shell cleanup and
+  compaction.
+
+Event times come from a seeded generator, so every backend (and every
+run) executes the identical op sequence; results are ops/sec where an op
+is one push, pop, or cancel.
+"""
+
+import time
+
+from repro.sim.events import QUEUE_BACKENDS
+from repro.sim.random import make_stream
+
+
+def _times(count, horizon, seed):
+    rng = make_stream(seed, "queuebench")
+    return [rng.random() * horizon for _ in range(count)]
+
+
+def _noop():
+    pass
+
+
+def _mix_push_pop(queue_cls, size, times):
+    queue = queue_cls()
+    start = time.perf_counter()
+    push = queue.push
+    for t in times:
+        push(t, _noop, ())
+    pop = queue.pop
+    while pop() is not None:
+        pass
+    return 2 * size, time.perf_counter() - start
+
+
+def _mix_interleaved(queue_cls, size, times):
+    # Hold `size` events; for each subsequent time, pop the earliest and
+    # push a replacement `t` seconds after it (short-horizon, like a link
+    # arrival scheduled from the event being executed).
+    queue = queue_cls()
+    push = queue.push
+    pop = queue.pop
+    held = times[:size]
+    follow = times[size:]
+    start = time.perf_counter()
+    for t in held:
+        push(t, _noop, ())
+    for t in follow:
+        event = pop()
+        push(event.time + t * 1e-2, _noop, ())
+    while pop() is not None:
+        pass
+    return 2 * len(times) + size, time.perf_counter() - start
+
+
+def _mix_cancel_heavy(queue_cls, size, times):
+    queue = queue_cls()
+    push = queue.push
+    pop = queue.pop
+    note = queue.note_cancelled
+    start = time.perf_counter()
+    ops = 0
+    # Four generations: push a population, cancel ~2/3 of it (driving the
+    # shells-outnumber-live compaction trigger), drain the rest.
+    for generation in range(4):
+        events = [push(t, _noop, ()) for t in times]
+        for event in events[::3]:
+            event.cancel()
+            note()
+        for event in events[1::3]:
+            event.cancel()
+            note()
+        while pop() is not None:
+            pass
+        ops += 2 * len(times)
+    return ops, time.perf_counter() - start
+
+
+MIXES = {
+    "push_pop": _mix_push_pop,
+    "interleaved": _mix_interleaved,
+    "cancel_heavy": _mix_cancel_heavy,
+}
+
+
+def measure_queue_mixes(size=20000, horizon=0.05, seed=7, repeats=3):
+    """Time every mix on every backend; best-of-``repeats`` wins.
+
+    Returns ``{"size": ..., "mixes": {mix: {backend: ops_per_sec}}}``.
+    ``horizon`` is the time window events land in — 50 ms spans a few
+    dozen wheel buckets, matching the committed scenarios' short-horizon
+    event clustering.
+    """
+    times = _times(2 * size, horizon, seed)
+    results = {}
+    for mix_name, mix in sorted(MIXES.items()):
+        per_backend = {}
+        for backend_name in sorted(QUEUE_BACKENDS):
+            queue_cls = QUEUE_BACKENDS[backend_name]
+            best = None
+            ops = None
+            for _ in range(repeats):
+                ops, wall = mix(queue_cls, size, times)
+                best = wall if best is None else min(best, wall)
+            per_backend[backend_name] = round(ops / best, 1)
+        results[mix_name] = per_backend
+    return {"size": size, "horizon_s": horizon, "mixes": results}
+
+
+def format_queue_mixes(payload):
+    """Render :func:`measure_queue_mixes` output as an aligned table."""
+    backends = sorted(QUEUE_BACKENDS)
+    lines = ["queue backends, {} events, {:.0f} ms horizon (ops/s)".format(
+        payload["size"], payload["horizon_s"] * 1e3)]
+    header = "{:<14}".format("mix")
+    for name in backends:
+        header += "{:>14}".format(name)
+    header += "{:>12}".format("wheel/heap")
+    lines.append(header)
+    for mix_name, per_backend in sorted(payload["mixes"].items()):
+        line = "{:<14}".format(mix_name)
+        for name in backends:
+            line += "{:>14,.0f}".format(per_backend[name])
+        ratio = per_backend["wheel"] / per_backend["heap"]
+        line += "{:>11.2f}x".format(ratio)
+        lines.append(line)
+    return "\n".join(lines)

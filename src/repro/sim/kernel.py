@@ -6,7 +6,7 @@ schedule callbacks with :meth:`Simulator.schedule` (relative delay) or
 timestamp order. The simulator is single-threaded and deterministic.
 """
 
-from repro.sim.events import EventQueue
+from repro.sim.events import resolve_queue_backend
 from repro.sim.random import make_stream
 
 
@@ -27,15 +27,25 @@ class Simulator:
         scheduled event and RNG draw. Opt-in and zero-cost when ``None``:
         the only difference is which queue class and stream factory the
         constructor binds — no per-event branch exists on the hot path.
+    queue:
+        Event-queue backend: a class, a name from
+        :data:`repro.sim.events.QUEUE_BACKENDS`, or ``"auto"``. ``None``
+        (the default) defers to the :func:`repro.sim.events.queue_backend`
+        context override, then the ``REPRO_SIM_QUEUE`` environment
+        variable, then the auto heuristic. Both backends honour the exact
+        ``(time, seq)`` contract, so the choice affects wall-clock speed
+        only — every committed scenario is fingerprint-identical across
+        them (enforced by the A/B suite).
     """
 
-    def __init__(self, seed=0, auditor=None):
+    def __init__(self, seed=0, auditor=None, queue=None):
         self.seed = seed
+        backend = resolve_queue_backend(queue)
         if auditor is None:
-            self._queue = EventQueue()
+            self._queue = backend()
             self._stream_factory = make_stream
         else:
-            self._queue = auditor.make_queue()
+            self._queue = auditor.make_queue(backend)
             self._stream_factory = auditor.make_stream
             auditor.bind(self)
         #: Allocate a tie-breaking slot for a possible future event; the
@@ -49,8 +59,13 @@ class Simulator:
         #: Hot-path scheduling: push an event with pre-packed ``args`` and
         #: an optional reserved ``seq``, skipping :meth:`schedule_at`'s
         #: past-check. Only for callers whose target time is arithmetically
-        #: guaranteed not to precede the clock (virtual-time completions).
-        self.push_event = self._queue.push
+        #: guaranteed not to precede the clock (virtual-time completions)
+        #: AND whose handle never outlives structures drained before the
+        #: callback runs: the record is recycled through the queue's
+        #: freelist after executing, so a kept stale handle would alias
+        #: the next tenant. Callers that retain handles (timers, generic
+        #: ``schedule``/``schedule_at``) get fresh, never-recycled events.
+        self.push_event = self._queue.push_pooled
         #: Current simulated time in seconds. Public but read-only by
         #: convention: only :meth:`run` advances it. A plain attribute
         #: rather than a property — the virtual-time hot paths (sender
@@ -126,6 +141,8 @@ class Simulator:
         self._running = True
         executed = 0
         queue = self._queue
+        pop = queue.pop
+        recycle = queue.recycle
         try:
             while True:
                 if max_events is not None and executed >= max_events:
@@ -133,7 +150,7 @@ class Simulator:
                 # Single heap operation per executed event: pop(until)
                 # discards cancelled shells, leaves an event beyond
                 # `until` queued, and returns the next live event.
-                event = queue.pop(until)
+                event = pop(until)
                 if event is None:
                     if until is not None:
                         # A live event beyond `until` pins the clock at
@@ -148,6 +165,11 @@ class Simulator:
                 # second time or the queue's bookkeeping underflows.
                 event.cancel()
                 fn(*args)
+                if event.pooled:
+                    # Freelist recycling is safe only here: the event was
+                    # popped (not a cancelled shell) and retired by this
+                    # loop, so no other holder of the handle remains.
+                    recycle(event)
                 executed += 1
         finally:
             self._running = False

@@ -170,7 +170,9 @@ class FifoServer:
             # The callback is scheduled directly: every observable read
             # (stats, busy, queue_length) drains lazily on access, so no
             # pre-drain wrapper is needed at the completion instant.
-            self.sim.schedule_at(completion, fn, *args)
+            # completion >= now by construction and the handle never
+            # escapes this frame, so the pooled unchecked push applies.
+            self.sim.push_event(completion, fn, args)
         return completion
 
     def submit_fast(self, service_time, payload=None):
@@ -208,6 +210,94 @@ class FifoServer:
         self._busy_until = completion
         pending.append((completion, service_time))
         return completion
+
+    def submit_acct(self, service_time):
+        """Accounting-only submission: charge service time, no callback.
+
+        Semantically ``submit_timed(service, noop)`` without the varargs
+        packing and callback checks — the receive path charges the CPU
+        for every message, so that packing is measurable. Returns the
+        completion time, or ``None`` on a queue-full drop.
+        """
+        stats = self._stats
+        stats.submitted += 1
+        if self.slowdown != 1.0:
+            service_time = service_time * self.slowdown
+        now = self.sim.now
+        pending = self._pending
+        if pending and pending[0][0] <= now:
+            self._drain(now)
+        if pending:
+            queued = len(pending) - 1
+            if self.capacity is not None and queued >= self.capacity:
+                stats.dropped += 1
+                if self.on_drop is not None:
+                    self.on_drop(noop, ())
+                return None
+            completion = self._busy_until + service_time
+            queued += 1
+            if queued > stats.max_queue:
+                stats.max_queue = queued
+        else:
+            completion = now + service_time
+            stats.busy_time += service_time
+            self._head_charged = True
+        self._busy_until = completion
+        pending.append((completion, service_time))
+        return completion
+
+    def submit_chain(self, service_time):
+        """Append a job to the busy tail unconditionally; returns completion.
+
+        The batched gossip pump commits a whole validated round at once:
+        the sender paces itself, so the capacity bound and the
+        ``max_queue`` watermark — both of which model *contention* — do
+        not apply to chain entries, whose queueing is an accounting
+        artefact of committing future sends early. Completion instants
+        are identical to submitting each job the moment its predecessor
+        finishes (``busy_until + service``), and ``busy_time`` is charged
+        at each job's service *start* by the lazy drain, exactly as the
+        event-per-job reference charged it.
+        """
+        if self.slowdown != 1.0:
+            service_time = service_time * self.slowdown
+        stats = self._stats
+        stats.submitted += 1
+        now = self.sim.now
+        pending = self._pending
+        if pending and pending[0][0] <= now:
+            self._drain(now)
+        if pending:
+            completion = self._busy_until + service_time
+        else:
+            completion = now + service_time
+            stats.busy_time += service_time
+            self._head_charged = True
+        self._busy_until = completion
+        pending.append((completion, service_time))
+        return completion
+
+    def abort_queued(self, now):
+        """Remove jobs that have not started service; un-commit a chain.
+
+        Returns ``(removed, busy_until)``. Used when a gossip sender
+        crashes mid-round: the reference implementation simply never
+        submitted the rest of the round, so the queued (not-yet-started)
+        chain entries are withdrawn — completed jobs and the job in
+        service (already "on the wire") are untouched, leaving the server
+        exactly as a per-message pump would have left it.
+        """
+        self._drain(now)
+        pending = self._pending
+        removed = 0
+        stats = self._stats
+        while len(pending) > 1:
+            pending.pop()
+            removed += 1
+        if removed:
+            stats.submitted -= removed
+            self._busy_until = pending[0][0]
+        return removed, self._busy_until
 
     def _drain(self, now):
         """Retire completed jobs and charge the in-service job's time."""
