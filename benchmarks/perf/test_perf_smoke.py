@@ -1,6 +1,6 @@
 """CI smoke gate for the simulator hot path.
 
-Three checks per run:
+Four checks per run:
 
 * **Exactness** — every scenario's report fingerprint must match the
   committed baseline bit for bit. The fingerprint hashes the full
@@ -9,6 +9,15 @@ Three checks per run:
   how fast the simulator got. Event counts are *not* pinned: they are an
   implementation property, precisely what hot-path optimisation changes.
 * **Throughput** — events/sec must stay within ``TOLERANCE`` of baseline.
+  The scenario set includes the large-N smokes (``fig3_n100`` and the
+  reduced-duration ``gossip_n1000`` dissemination run), so the N=1000
+  hot path is gated on throughput like the committed figure scenarios.
+* **Memory** — tracemalloc peak must stay within ``MEM_TOLERANCE`` of
+  baseline. The flat-state work (interned ids, array-backed dedup,
+  streaming-capable metrics) is what makes N=1000 overlays fit; this
+  gate keeps a regression from quietly re-inflating the per-node state.
+  Peaks are allocation high-water marks, machine-independent up to
+  allocator details, so the tolerance is tighter than wall-clock's.
 * **Virtual-time advantage** — the fast path must keep beating the
   event-per-job reference servers: ≥ 55% fewer scheduled kernel events on
   fig3_workload (machine-independent; measured 61% after the batched
@@ -26,6 +35,8 @@ from benchmarks.perf import harness
 
 #: Fraction of baseline events/sec the smoke run must reach.
 TOLERANCE = float(os.environ.get("REPRO_PERF_TOLERANCE", "0.8"))
+#: Multiple of the baseline tracemalloc peak a scenario may reach.
+MEM_TOLERANCE = float(os.environ.get("REPRO_PERF_MEM_TOLERANCE", "1.3"))
 REPEATS = int(os.environ.get("REPRO_PERF_REPEATS", "3"))
 #: Interleaved VT/legacy pairs for the fig8 wall-clock comparison. More
 #: than REPEATS because the speedup gate compares two minima, and each
@@ -67,6 +78,12 @@ def test_perf_smoke():
             "({}x baseline {})".format(
                 name, measured["events_per_sec"], floor,
                 TOLERANCE, expected["events_per_sec"]))
+        ceiling = MEM_TOLERANCE * expected["peak_mem_kb"]
+        assert measured["peak_mem_kb"] <= ceiling, (
+            "scenario {!r} peaked at {} KiB, above {:.0f} "
+            "({}x baseline {}): the flat-state memory budget regressed".format(
+                name, measured["peak_mem_kb"], ceiling,
+                MEM_TOLERANCE, expected["peak_mem_kb"]))
 
     reduction = comparison["fig3_events_scheduled_reduction"]
     assert reduction >= EVENT_REDUCTION_FLOOR, (

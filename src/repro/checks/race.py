@@ -59,16 +59,20 @@ def race_scenarios():
     ``synthetic-tiebreak`` is the planted-hazard fixture and is excluded
     from ``--race all`` (it exists to *fail*).
     """
-    from repro.perf.scenarios import REGRESSION_SCENARIOS, SCENARIOS
+    from repro.perf.scenarios import (PERF_SCENARIOS, REGRESSION_SCENARIOS,
+                                      SCENARIOS)
 
-    names = sorted(SCENARIOS) + sorted(REGRESSION_SCENARIOS)
+    names = (sorted(SCENARIOS) + sorted(REGRESSION_SCENARIOS)
+             + sorted(PERF_SCENARIOS))
     return names + [SYNTHETIC]
 
 
 def _scenario_config(name):
-    from repro.perf.scenarios import REGRESSION_SCENARIOS, SCENARIOS
+    from repro.perf.scenarios import (PERF_SCENARIOS, REGRESSION_SCENARIOS,
+                                      SCENARIOS)
 
-    factory = SCENARIOS.get(name) or REGRESSION_SCENARIOS.get(name)
+    factory = (SCENARIOS.get(name) or REGRESSION_SCENARIOS.get(name)
+               or PERF_SCENARIOS.get(name))
     if factory is None:
         raise KeyError("unknown race scenario {!r}; known: {}".format(
             name, ", ".join(race_scenarios())))

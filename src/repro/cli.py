@@ -260,10 +260,12 @@ def cmd_perf(args):
     import json
 
     from repro.perf import (
+        PERF_SCENARIOS,
         SCENARIOS,
         compare_payloads,
         format_queue_mixes,
         host_info,
+        measure_all,
         measure_legacy_comparison,
         measure_queue_mixes,
         measure_scenario,
@@ -306,17 +308,21 @@ def cmd_perf(args):
                     stat["size_kb"], stat["count"], stat["site"]))
         return 0
 
-    names = sorted(SCENARIOS) if args.scenario == "all" else [args.scenario]
-    unknown = [name for name in names if name not in SCENARIOS]
-    if unknown:
-        print("unknown scenario {!r}; known: {}".format(
-            unknown[0], ", ".join(sorted(SCENARIOS))), file=sys.stderr)
-        return 2
-    payload = {
-        "host": host_info(),
-        "scenarios": {name: measure_scenario(name, repeats=args.repeats)
-                      for name in names},
-    }
+    if args.scenario == "all":
+        # measure_all covers the figure scenarios plus the large-N perf
+        # smokes, capping repeats on the heavy ones (PERF_REPEATS).
+        payload = measure_all(repeats=args.repeats)
+    else:
+        name = args.scenario
+        if name not in SCENARIOS and name not in PERF_SCENARIOS:
+            print("unknown scenario {!r}; known: {}".format(
+                name, ", ".join(sorted(SCENARIOS) + sorted(PERF_SCENARIOS))),
+                file=sys.stderr)
+            return 2
+        payload = {
+            "host": host_info(),
+            "scenarios": {name: measure_scenario(name, repeats=args.repeats)},
+        }
     if args.compare is not None:
         try:
             with open(args.compare) as fh:
@@ -361,7 +367,7 @@ def cmd_perf(args):
         print(json.dumps(payload, indent=2, sort_keys=True))
         return 0
     rows = []
-    for name in names:
+    for name in payload["scenarios"]:
         measured = payload["scenarios"][name]
         rows.append([
             name, measured["events"], measured["events_scheduled"],

@@ -111,21 +111,55 @@ class _PeerSender:
         return self._wakeup_armed or self.sim.now < self._free_at
 
     def enqueue(self, payload):
-        if self.capacity is not None and len(self.queue) >= self.capacity:
+        queue = self.queue
+        if self.capacity is not None and len(queue) >= self.capacity:
             self.node.stats.send_queue_drops += 1
             return
-        self.queue.append(payload)
         if self._wakeup_armed:
-            return   # an outstanding wake-up will pump this message
+            queue.append(payload)   # the outstanding wake-up will pump it
+            return
         if self.sim.now < self._free_at:
             # Link busy with nothing paced behind it yet: wake exactly
             # when it frees to batch up whatever has queued by then. The
             # reserved slot makes the wake-up fire in the heap position
             # the reference implementation gave its completion event.
+            queue.append(payload)
             self._wakeup_armed = True
             self._wakeup_event = self.sim.push_event(
                 self._free_at, self._wakeup, (), self._wakeup_seq)
             return
+        if not queue and not self.pending:
+            # Idle-link single message — the dominant case below
+            # saturation — goes straight to the wire: no deque round
+            # trip, no pump frame. Identical validate/charge/transmit
+            # sequence to the single-message pump path.
+            node = self.node
+            if node.validate_default or node.hooks.validate(payload,
+                                                            self.peer_id):
+                if node.hooks_charged:
+                    self._charge_hooks(1)
+                # _transmit, inlined (nothing is queued behind this
+                # message, so the trailing wake-up arming there is dead):
+                # reserve the wake-up slot before the transmit, exactly
+                # where the event-per-job reference allocated its
+                # completion event.
+                sim = self.sim
+                seq = sim.reserve_slot()
+                completion = self.link.transmit_timed(payload)
+                if completion is None:
+                    self._wakeup_armed = True
+                    self.link.transmit(payload, on_wire=self._paced_wakeup)
+                else:
+                    self._wakeup_seq = seq
+                    self._free_at = completion
+            else:
+                node.stats.filtered += 1
+                if node.obs is not None:
+                    node.obs.gossip_filtered(node.process_id, self.peer_id,
+                                             payload)
+                self._charge_hooks(1)
+            return
+        queue.append(payload)
         self._pump()
 
     def _pump(self):
@@ -138,8 +172,9 @@ class _PeerSender:
             # saturation — skips the batch-list machinery: same validate,
             # same hook charge, same transmit, no list copies.
             payload = queue.popleft()
-            if hooks.validate(payload, self.peer_id):
-                self._charge_hooks(1)
+            if node.validate_default or hooks.validate(payload, self.peer_id):
+                if node.hooks_charged:
+                    self._charge_hooks(1)
                 self._transmit(payload)
             else:
                 node.stats.filtered += 1
@@ -155,32 +190,38 @@ class _PeerSender:
                 return
             batch = list(self.queue)
             self.queue.clear()
-            kept = []
-            for payload in batch:
-                if hooks.validate(payload, self.peer_id):
-                    kept.append(payload)
-                else:
-                    node.stats.filtered += 1
-                    if node.obs is not None:
-                        node.obs.gossip_filtered(node.process_id,
-                                                 self.peer_id, payload)
+            if node.validate_default:
+                # Default validate admits everything; skip the per-message
+                # calls (classic gossip's saturated batch path).
+                kept = batch
+            else:
+                kept = []
+                for payload in batch:
+                    if hooks.validate(payload, self.peer_id):
+                        kept.append(payload)
+                    else:
+                        node.stats.filtered += 1
+                        if node.obs is not None:
+                            node.obs.gossip_filtered(node.process_id,
+                                                     self.peer_id, payload)
             examined += len(batch)
             if len(kept) > 1:
                 examined += len(kept)
-                before = len(kept)
-                kept = hooks.aggregate(kept, self.peer_id)
-                saved = before - len(kept)
-                if saved > 0:
-                    node.stats.aggregated_in += saved + sum(
-                        1 for p in kept if p.aggregated
-                    )
-                    node.stats.aggregated_saved += saved
-                    if node.obs is not None:
-                        for p in kept:
-                            if p.aggregated:
-                                node.obs.gossip_aggregated(
-                                    node.process_id, self.peer_id, p,
-                                    max(0, len(getattr(p, "senders", ())) - 1))
+                if not node.aggregate_default:
+                    before = len(kept)
+                    kept = hooks.aggregate(kept, self.peer_id)
+                    saved = before - len(kept)
+                    if saved > 0:
+                        node.stats.aggregated_in += saved + sum(
+                            1 for p in kept if p.aggregated
+                        )
+                        node.stats.aggregated_saved += saved
+                        if node.obs is not None:
+                            for p in kept:
+                                if p.aggregated:
+                                    node.obs.gossip_aggregated(
+                                        node.process_id, self.peer_id, p,
+                                        max(0, len(getattr(p, "senders", ())) - 1))
             self.pending.extend(kept)
         self._charge_hooks(examined)
         if self.link.fast_path:
@@ -311,7 +352,21 @@ class _PeerSender:
 
 
 class GossipNode(Actor):
-    """Push-gossip layer of one process."""
+    """Push-gossip layer of one process.
+
+    Slotted: every receive touches half a dozen attributes, and flat
+    storage keeps those loads off the instance dict. Subclasses that add
+    state (the pull strategies) simply omit ``__slots__`` and get a dict
+    for their extras; the hot base attributes stay slotted either way.
+    """
+
+    __slots__ = (
+        "process_id", "transport", "costs", "deliver", "cpu",
+        "_cpu_submit", "_cpu_acct", "hooks_charged", "validate_default",
+        "aggregate_default", "stats", "obs", "alive", "_senders",
+        "_send_queue_capacity", "_fwd_pairs", "_fanout", "_svc_broadcast",
+        "_svc_receive", "_hooks", "_cache", "_register",
+    )
 
     def __init__(self, sim, process_id, transport, costs=None, hooks=None,
                  cache=None, deliver=None, cpu=None, send_queue_capacity=None):
@@ -336,8 +391,9 @@ class GossipNode(Actor):
         self.process_id = process_id
         self.transport = transport
         self.costs = costs or GossipCosts()
-        self.hooks = hooks or SemanticHooks()
-        self.cache = cache if cache is not None else RecentlySeenCache()
+        self.hooks = hooks or SemanticHooks()     # property: sets flags
+        self.cache = (cache if cache is not None  # property: binds probe
+                      else RecentlySeenCache())
         self.deliver = deliver
         self.cpu = cpu or make_server(sim)
         #: Fire-and-forget CPU submission for the receive/broadcast hot
@@ -369,6 +425,13 @@ class GossipNode(Actor):
         self.alive = True
         self._senders = {}
         self._send_queue_capacity = send_queue_capacity
+        #: Flat forward fan-out: a tuple of ``(peer_id, sender)`` pairs in
+        #: peer-insertion order plus precomputed CPU service times, rebuilt
+        #: whenever membership/overlay repair changes the peer set.
+        self._fwd_pairs = ()
+        self._fanout = 0
+        self._svc_broadcast = self.costs.recv_fresh_s
+        self._svc_receive = self.costs.recv_fresh_s
         transport.on_receive(self._on_link_receive)
 
     def _make_legacy_acct(self):
@@ -378,6 +441,43 @@ class GossipNode(Actor):
             submit(service, _noop)
 
         return cpu_acct
+
+    @property
+    def hooks(self):
+        return self._hooks
+
+    @hooks.setter
+    def hooks(self, hooks):
+        # Refresh the per-hook defaultness flags on every swap (safety
+        # monitor wrappers, test doubles): the default validate admits
+        # everything and the default aggregate is the identity, so the
+        # hot path skips those calls entirely when the flag is set.
+        # ``hooks_charged`` is deliberately NOT refreshed — the CPU-charge
+        # decision is pinned at construction so observational wrappers
+        # cannot perturb run timing.
+        self._hooks = hooks
+        self.validate_default = type(hooks).validate is SemanticHooks.validate
+        self.aggregate_default = (
+            type(hooks).aggregate is SemanticHooks.aggregate)
+
+    @property
+    def cache(self):
+        return self._cache
+
+    @cache.setter
+    def cache(self, cache):
+        # Rebind the dedup probe on every swap: ``register_payload``
+        # interns the uid once and probes by dense id on array-backed
+        # caches; duck-typed caches exposing only ``register(uid)`` get a
+        # shim. The hot path always goes through ``self._register``.
+        self._cache = cache
+        register_payload = getattr(cache, "register_payload", None)
+        if register_payload is None:
+            register = cache.register
+
+            def register_payload(payload):
+                return register(payload.uid)
+        self._register = register_payload
 
     # -- wiring ----------------------------------------------------------
 
@@ -412,10 +512,32 @@ class GossipNode(Actor):
         self._senders[peer_id] = _PeerSender(
             self, peer_id, link, self._send_queue_capacity
         )
+        self._rebuild_forward()
 
     def remove_peer(self, peer_id):
         """Drop a peer (overlay repair); queued sends to it are lost."""
         self._senders.pop(peer_id, None)
+        self._rebuild_forward()
+
+    def _rebuild_forward(self):
+        """Recompute the flat fan-out state after a peer-set change.
+
+        ``_fwd_pairs`` mirrors ``_senders.items()`` (same insertion order,
+        so the forward loop enqueues in exactly the dict-iteration order
+        the reference used); the service times are the same arithmetic the
+        per-receive code used to evaluate, hoisted to membership changes.
+        """
+        self._fwd_pairs = tuple(self._senders.items())
+        fanout = len(self._fwd_pairs)
+        self._fanout = fanout
+        costs = self.costs
+        self._svc_broadcast = (
+            costs.recv_fresh_s + fanout * costs.send_per_peer_s)
+        recv_fanout = fanout - 1
+        if recv_fanout < 0:
+            recv_fanout = 0
+        self._svc_receive = (
+            costs.recv_fresh_s + recv_fanout * costs.send_per_peer_s)
 
     def peers(self):
         return list(self._senders)
@@ -427,11 +549,10 @@ class GossipNode(Actor):
         if not self.alive:
             return
         self.stats.broadcasts += 1
-        if not self.cache.register(payload.uid):
+        if not self._register(payload):
             return  # re-broadcast of a known message: nothing to do
-        fanout = len(self._senders)
-        service = self.costs.recv_fresh_s + fanout * self.costs.send_per_peer_s
-        self._cpu_submit(service, self._complete_broadcast, payload)
+        self._cpu_submit(self._svc_broadcast, self._complete_broadcast,
+                         payload)
 
     def _complete_broadcast(self, payload):
         self._deliver(payload)
@@ -449,15 +570,11 @@ class GossipNode(Actor):
             # Single-part fast path: no part list, no service accumulator
             # loop — identical charges and pushes, common-case receive.
             obs = self.obs
-            if self.cache.register(payload.uid):
+            if self._register(payload):
                 if obs is not None:
                     obs.gossip_receive(self.process_id, src, payload, True)
-                fanout = len(self._senders) - 1
-                if fanout < 0:
-                    fanout = 0
-                service = costs.recv_fresh_s + fanout * costs.send_per_peer_s
-                self._cpu_submit(service, self._complete_receive_one,
-                                 payload, src)
+                self._cpu_submit(self._svc_receive,
+                                 self._complete_receive_one, payload, src)
             else:
                 stats.duplicates += 1
                 if obs is not None:
@@ -466,12 +583,13 @@ class GossipNode(Actor):
             return
         parts = self.hooks.disaggregate(payload)
         self.stats.disaggregated += len(parts)
+        register = self._register
         fresh = []
         service = 0.0
         duplicates = 0
         obs = self.obs
         for part in parts:
-            if self.cache.register(part.uid):
+            if register(part):
                 fresh.append(part)
                 service += costs.recv_fresh_s
                 if obs is not None:
@@ -488,7 +606,9 @@ class GossipNode(Actor):
         if not fresh:
             self._cpu_acct(service)
             return
-        fanout = max(0, len(self._senders) - 1)
+        fanout = self._fanout - 1
+        if fanout < 0:
+            fanout = 0
         service += len(fresh) * fanout * costs.send_per_peer_s
         self._cpu_submit(service, self._complete_receive, fresh, src)
 
@@ -509,9 +629,10 @@ class GossipNode(Actor):
             self.deliver(payload)
 
     def _forward(self, payload, exclude):
-        stats = self.stats
-        for peer_id, sender in self._senders.items():
+        forwarded = 0
+        for peer_id, sender in self._fwd_pairs:
             if peer_id == exclude:
                 continue
-            stats.forwarded += 1
+            forwarded += 1
             sender.enqueue(payload)
+        self.stats.forwarded += forwarded

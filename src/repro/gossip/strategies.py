@@ -129,7 +129,7 @@ class PullGossipNode(GossipNode):
         if not self.alive:
             return
         self.stats.broadcasts += 1
-        if not self.cache.register(payload.uid):
+        if not self._register(payload):
             return
         self.store.add(payload)
         self.cpu.submit(self.costs.recv_fresh_s, self._complete_broadcast,
@@ -189,7 +189,7 @@ class PullGossipNode(GossipNode):
             else:
                 parts = (payload,)
             for part in parts:
-                if not self.cache.register(part.uid):
+                if not self._register(part):
                     continue
                 self.pull_messages_recovered += 1
                 self.store.add(part)

@@ -314,6 +314,16 @@ class DirectedLink:
         self._stats.delivered += 1
         self._deliver(self.src, payload)
 
+    def rebind_deliver(self, deliver):
+        """Point arrivals directly at the receiver's resolved callback.
+
+        The destination transport calls this once its receive callback is
+        claimed, cutting its dispatch frame out of every arrival. Purely
+        a call-graph flattening: the same callback runs with the same
+        arguments at the same instants.
+        """
+        self._deliver = deliver
+
     def _drain_sent(self, now):
         """Count fast-path messages whose serialisation has completed."""
         in_flight = self._in_flight

@@ -52,18 +52,47 @@ class Overlay:
         return 2.0 * len(self.edges) / self.n if self.n else 0.0
 
     def is_connected(self):
-        """BFS reachability from process 0."""
+        """Reachability from process 0 (flat byte-flag BFS).
+
+        A bytearray visited set instead of a hash set: at N=1000+ the
+        membership probe and insert are array indexing, which keeps the
+        generator's redraw loop cheap at the sizes the synthetic-region
+        scenarios use.
+        """
         if self.n == 0:
             return True
-        seen = {0}
+        seen = bytearray(self.n)
+        seen[0] = 1
+        count = 1
         frontier = [0]
         while frontier:
             node = frontier.pop()
             for peer in self.adjacency[node]:
-                if peer not in seen:
-                    seen.add(peer)
+                if not seen[peer]:
+                    seen[peer] = 1
+                    count += 1
                     frontier.append(peer)
-        return len(seen) == self.n
+        return count == self.n
+
+    def component_sizes(self):
+        """Sizes of the connected components, largest first."""
+        seen = bytearray(self.n)
+        sizes = []
+        for start in range(self.n):
+            if seen[start]:
+                continue
+            seen[start] = 1
+            size = 1
+            frontier = [start]
+            while frontier:
+                node = frontier.pop()
+                for peer in self.adjacency[node]:
+                    if not seen[peer]:
+                        seen[peer] = 1
+                        size += 1
+                        frontier.append(peer)
+            sizes.append(size)
+        return sorted(sizes, reverse=True)
 
     def shortest_latency_s(self, topology, source):
         """Dijkstra one-way latency (s) from ``source`` to every process.
@@ -107,18 +136,74 @@ class Overlay:
         return median * 1000.0
 
 
-def generate_overlay(n, k=None, rng=None, max_attempts=100, seed=0):
-    """Generate a connected random k-out overlay.
+def _kout_edges(n, k, rng, others):
+    """One k-out draw: every process samples ``k`` distinct peers."""
+    edges = set()
+    for process_id in range(n):
+        # Slicing (not a comprehension) builds the same candidate list the
+        # original generator used — identical content and order, so the
+        # rng.sample draws (and every committed overlay) are unchanged.
+        candidates = others[:process_id] + others[process_id + 1:]
+        for peer in rng.sample(candidates, k):
+            edges.add(frozenset((process_id, peer)))
+    return edges
 
-    Each process draws ``k`` distinct peers uniformly at random; the union
-    of the drawn links, made bi-directional, is the overlay. Redraws until
-    connected (at k ≈ log2 n disconnection is rare).
+
+def _powerlaw_edges(n, k, rng):
+    """One preferential-attachment draw (Barabási–Albert style).
+
+    Seed clique of ``k + 1`` processes; each later process attaches ``k``
+    edges to existing processes sampled proportionally to current degree
+    (via the repeated-targets list). Produces the hub-heavy degree
+    distribution of real peer-sampling deployments, connected by
+    construction, with the same ~2k average degree as the k-out family.
+    """
+    m0 = min(k + 1, n)
+    edges = set()
+    targets = []
+    for a in range(m0):
+        for b in range(a + 1, m0):
+            edges.add(frozenset((a, b)))
+            targets.append(a)
+            targets.append(b)
+    for process_id in range(m0, n):
+        chosen = set()
+        while len(chosen) < k:
+            chosen.add(targets[rng.randrange(len(targets))])
+        # Sorted so edge/target insertion order is independent of set
+        # iteration order (PYTHONHASHSEED discipline).
+        for peer in sorted(chosen):
+            edges.add(frozenset((process_id, peer)))
+            targets.append(process_id)
+            targets.append(peer)
+    return edges
+
+
+#: Overlay families accepted by :func:`generate_overlay`.
+OVERLAY_FAMILIES = ("kout", "powerlaw")
+
+
+def generate_overlay(n, k=None, rng=None, max_attempts=100, seed=0,
+                     family="kout"):
+    """Generate a connected random overlay.
+
+    ``family`` selects the wiring model: ``"kout"`` (the paper's §3.3
+    setup — each process draws ``k`` peers uniformly at random) or
+    ``"powerlaw"`` (preferential attachment, for large-N experiments with
+    hub-heavy degree distributions). Redraws until connected (at
+    k ≈ log2 n disconnection is rare); exhausting ``max_attempts`` raises
+    with the component structure of the last draw, which tells you
+    whether to raise ``k`` or the attempt budget.
 
     Randomness comes from ``rng`` when given; otherwise from the named
     ``"overlay"`` stream of ``seed``, so overlay wiring always participates
     in the experiment's named-stream seeding scheme and an extra draw
     elsewhere can never change which overlay is built.
     """
+    if family not in OVERLAY_FAMILIES:
+        raise ValueError(
+            "unknown overlay family {!r}; expected one of {}".format(
+                family, OVERLAY_FAMILIES))
     if rng is None:
         rng = make_stream(seed, "overlay")
     if k is None:
@@ -127,16 +212,21 @@ def generate_overlay(n, k=None, rng=None, max_attempts=100, seed=0):
         return Overlay(n, set())
     k = min(k, n - 1)
     others = list(range(n))
+    overlay = None
     for _ in range(max_attempts):
-        edges = set()
-        for process_id in range(n):
-            candidates = [p for p in others if p != process_id]
-            for peer in rng.sample(candidates, k):
-                edges.add(frozenset((process_id, peer)))
+        if family == "powerlaw":
+            edges = _powerlaw_edges(n, k, rng)
+        else:
+            edges = _kout_edges(n, k, rng, others)
         overlay = Overlay(n, edges)
         if overlay.is_connected():
             return overlay
+    sizes = overlay.component_sizes()
     raise RuntimeError(
-        "failed to draw a connected overlay for n={}, k={} "
-        "after {} attempts".format(n, k, max_attempts)
+        "failed to draw a connected {} overlay for n={}, k={} after {} "
+        "attempts; the last draw split into {} components (sizes: {}). "
+        "Increase k (default_k({}) = {}) or max_attempts.".format(
+            family, n, k, max_attempts, len(sizes),
+            ", ".join(map(str, sizes[:8])) + ("…" if len(sizes) > 8 else ""),
+            n, default_k(n))
     )

@@ -11,17 +11,35 @@ from repro.net import regions as _regions
 
 
 class Topology:
-    """Maps process ids to regions and yields inter-process latencies."""
+    """Maps process ids to regions and yields inter-process latencies.
 
-    def __init__(self, n, num_regions=len(_regions.REGIONS)):
+    With the default arguments the latency model is the paper's 13-region
+    matrix. ``matrix_ms`` substitutes any square one-way latency matrix —
+    e.g. :func:`repro.net.regions.synthetic_regions` for planet-scale
+    synthetic deployments; process placement stays round-robin over the
+    matrix's regions with the coordinator (process 0) in region 0.
+    """
+
+    def __init__(self, n, num_regions=None, matrix_ms=None):
         if n < 1:
             raise ValueError("need at least one process")
         self.n = n
+        if matrix_ms is None:
+            matrix_ms = _regions.LATENCY_MATRIX_MS
+            self._names = _regions.REGIONS
+        else:
+            self._names = None
+        if num_regions is None:
+            num_regions = len(matrix_ms)
+        elif num_regions > len(matrix_ms):
+            raise ValueError(
+                "num_regions={} exceeds the {}-region latency matrix".format(
+                    num_regions, len(matrix_ms)))
         self.num_regions = num_regions
         self._region = [_regions.region_of_process(i, num_regions) for i in range(n)]
         # Pre-scale the matrix to seconds once; the hot path is a 2D lookup.
         self._latency_s = [
-            [ms / 1000.0 for ms in row] for row in _regions.LATENCY_MATRIX_MS
+            [ms / 1000.0 for ms in row] for row in matrix_ms
         ]
 
     def region(self, process_id):
@@ -29,7 +47,10 @@ class Topology:
         return self._region[process_id]
 
     def region_name(self, process_id):
-        return _regions.REGIONS[self._region[process_id]]
+        region = self._region[process_id]
+        if self._names is not None:
+            return self._names[region]
+        return "region-{}".format(region)
 
     def latency_s(self, a, b):
         """One-way latency in seconds between processes ``a`` and ``b``."""

@@ -11,11 +11,12 @@ for its per-peer links.
 class Transport:
     """Outgoing links and receive dispatch for one process."""
 
-    __slots__ = ("process_id", "_links", "_on_receive")
+    __slots__ = ("process_id", "_links", "_inbound", "_on_receive")
 
     def __init__(self, process_id):
         self.process_id = process_id
         self._links = {}
+        self._inbound = []
         self._on_receive = None
 
     def connect(self, link):
@@ -28,9 +29,22 @@ class Transport:
             )
         self._links[link.dst] = link
 
+    def accept(self, link):
+        """Register an inbound link whose arrivals target this transport.
+
+        Once the receive callback is claimed, the link's deliver is
+        rebound straight to it — the :meth:`deliver` dispatch frame is
+        hot-path overhead, one call per arriving message.
+        """
+        self._inbound.append(link)
+        if self._on_receive is not None:
+            link.rebind_deliver(self._on_receive)
+
     def on_receive(self, callback):
         """Register ``callback(src_id, payload)`` for inbound messages."""
         self._on_receive = callback
+        for link in self._inbound:
+            link.rebind_deliver(callback)
 
     def deliver(self, src, payload):
         """Entry point wired into the inbound links' deliver callbacks."""

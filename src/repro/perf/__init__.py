@@ -6,7 +6,7 @@ implementation. ``benchmarks/perf`` keeps the committed baseline file and
 the pytest gate and delegates all measurement here.
 """
 
-from repro.perf.scenarios import OVERLAY_SEED, SCENARIOS
+from repro.perf.scenarios import OVERLAY_SEED, PERF_SCENARIOS, SCENARIOS
 from repro.perf.measure import (
     compare_payloads,
     host_info,
@@ -20,6 +20,7 @@ from repro.perf.queuebench import format_queue_mixes, measure_queue_mixes
 
 __all__ = [
     "OVERLAY_SEED",
+    "PERF_SCENARIOS",
     "SCENARIOS",
     "compare_payloads",
     "format_queue_mixes",

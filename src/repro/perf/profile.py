@@ -18,11 +18,17 @@ import pstats
 
 
 def _scenario_config(name):
-    from repro.perf.scenarios import REGRESSION_SCENARIOS, SCENARIOS
+    from repro.perf.scenarios import (
+        PERF_SCENARIOS,
+        REGRESSION_SCENARIOS,
+        SCENARIOS,
+    )
 
-    factory = SCENARIOS.get(name) or REGRESSION_SCENARIOS.get(name)
+    factory = (SCENARIOS.get(name) or REGRESSION_SCENARIOS.get(name)
+               or PERF_SCENARIOS.get(name))
     if factory is None:
-        known = sorted(SCENARIOS) + sorted(REGRESSION_SCENARIOS)
+        known = (sorted(SCENARIOS) + sorted(REGRESSION_SCENARIOS)
+                 + sorted(PERF_SCENARIOS))
         raise KeyError("unknown perf scenario {!r}; known: {}".format(
             name, ", ".join(known)))
     return factory()

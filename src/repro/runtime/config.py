@@ -6,7 +6,6 @@ The defaults model the paper's environment at reduced duration; benchmarks
 override sizes, rates, and fault parameters per figure.
 """
 
-import math
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -14,14 +13,32 @@ from repro.gossip.node import GossipCosts
 from repro.membership.config import MembershipConfig
 from repro.net.channel import LinkConfig
 from repro.net.faults.events import FaultPlan
+from repro.net.overlay import default_k
 
 #: The paper's three setups (§4.1).
 SETUPS = ("baseline", "gossip", "semantic")
+
+#: Extension knobs carried as plain class/instance attributes rather than
+#: dataclass fields. The report fingerprint canonicalises the config via
+#: ``dataclasses.fields``, so adding a *field* would change every committed
+#: fingerprint; class-level defaults keep existing configs byte-identical
+#: while factories for the large-N scenarios set instance attributes.
+#: :meth:`ExperimentConfig.replace` knows to carry them across copies.
+CONFIG_EXTENSIONS = ("num_regions", "region_seed", "overlay_family")
 
 
 @dataclass
 class ExperimentConfig:
     """All parameters of one experiment run."""
+
+    # -- extension knobs (see CONFIG_EXTENSIONS) -----------------------------
+    #: Number of synthetic regions (repro.net.regions.synthetic_regions);
+    #: None keeps the paper's 13 AWS regions.
+    num_regions = None
+    #: Seed of the synthetic-region placement stream.
+    region_seed = 0
+    #: Overlay wiring model: "kout" (paper §3.3) or "powerlaw".
+    overlay_family = "kout"
 
     # -- deployment ---------------------------------------------------------
     setup: str = "gossip"
@@ -183,7 +200,7 @@ class ExperimentConfig:
         """Links each process opens, so average degree is ~log2(n) (§4.2)."""
         if self.k is not None:
             return self.k
-        return max(2, round(math.log2(self.n) / 2.0))
+        return default_k(self.n)
 
     @property
     def effective_overlay_seed(self):
@@ -223,7 +240,20 @@ class ExperimentConfig:
         return self.n // 2 + 1
 
     def replace(self, **overrides):
-        """Return a copy with the given fields overridden."""
+        """Return a copy with the given fields overridden.
+
+        Extension knobs (:data:`CONFIG_EXTENSIONS`) are carried over from
+        ``self`` and may be overridden here just like dataclass fields,
+        even though ``dataclasses.replace`` knows nothing about them.
+        """
         from dataclasses import replace as _replace
 
-        return _replace(self, **overrides)
+        extras = {name: overrides.pop(name) for name in CONFIG_EXTENSIONS
+                  if name in overrides}
+        copy = _replace(self, **overrides)
+        for name in CONFIG_EXTENSIONS:
+            if name in self.__dict__:
+                setattr(copy, name, self.__dict__[name])
+        for name, value in extras.items():
+            setattr(copy, name, value)
+        return copy

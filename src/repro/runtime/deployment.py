@@ -13,15 +13,17 @@ the same ``overlay_seed`` use the *same* overlay.
 
 from repro.core.raft_semantics import RaftSemantics
 from repro.core.semantics import PaxosSemantics
-from repro.gossip.bloom import SlidingBloomFilter
-from repro.gossip.cache import RecentlySeenCache
+from repro.gossip.bloom import BloomPositionCache, InternedSlidingBloomFilter
+from repro.gossip.cache import InternedSeenCache
 from repro.gossip.node import GossipNode
 from repro.gossip.strategies import PullGossipNode, PushPullGossipNode
 from repro.membership.service import MembershipService
 from repro.net.channel import DirectedLink
 from repro.net.faults.engine import FaultEngine
 from repro.net.faults.loss import ReceiverLossInjector
+from repro.net.message import UidInterner
 from repro.net.overlay import generate_overlay
+from repro.net.regions import synthetic_regions
 from repro.net.topology import Topology
 from repro.net.transport import Transport
 from repro.paxos.process import PaxosProcess
@@ -31,7 +33,7 @@ from repro.runtime.client import Client
 from repro.runtime.communicators import BaselineCommunicator, GossipCommunicator
 from repro.runtime.crashes import CrashController, CrashSchedule
 from repro.runtime.direct import DirectNode
-from repro.runtime.metrics import MetricsCollector
+from repro.runtime.metrics import MetricsCollector, StreamingMetricsCollector
 from repro.sim.kernel import Simulator
 from repro.sim.random import make_stream
 
@@ -42,7 +44,7 @@ class Deployment:
     def __init__(self, config, sim, topology, overlay, transports, nodes,
                  processes, clients, collector, loss_injector,
                  crash_controller=None, fault_engine=None, membership=None,
-                 obs=None):
+                 obs=None, interner=None):
         self.config = config
         self.sim = sim
         self.topology = topology
@@ -57,6 +59,7 @@ class Deployment:
         self.fault_engine = fault_engine
         self.membership = membership    # MembershipService or None
         self.obs = obs                  # repro.obs Tracer or None
+        self.interner = interner        # UidInterner or None (baseline)
 
     def start(self):
         """Schedule startup: every process at t=0 (the coordinator runs
@@ -95,20 +98,51 @@ def _connect_pair(sim, config, topology, transports, a, b, loss_hook):
         deliver=transports[b].deliver, loss_hook=loss_hook,
     )
     transports[a].connect(link_ab)
+    transports[b].accept(link_ab)
     link_ba = DirectedLink(
         sim, b, a, topology.latency_s(b, a), config.link,
         deliver=transports[a].deliver, loss_hook=loss_hook,
     )
     transports[b].connect(link_ba)
+    transports[a].accept(link_ba)
 
 
-def _make_dedup(config):
+def _dedup_factory(config, interner):
+    """Per-node dedup constructor over the deployment-wide interner.
+
+    Both variants are array-backed: dedup probes index by interned dense
+    id instead of hashing structured uids (A/B-proven equivalent to the
+    uid-keyed ``RecentlySeenCache``/``SlidingBloomFilter``).
+    """
     if config.use_bloom_dedup:
-        return SlidingBloomFilter()
-    return RecentlySeenCache(config.cache_capacity)
+        positions = BloomPositionCache(
+            interner, num_bits=1 << 17, num_hashes=4)
+
+        def make():
+            return InternedSlidingBloomFilter(positions)
+    else:
+        def make():
+            return InternedSeenCache(config.cache_capacity, interner)
+    return make
 
 
-def build_deployment(config, auditor=None, obs=None):
+def _make_collector(config, metrics):
+    """Resolve the ``metrics`` knob into a collector instance."""
+    if metrics is None:
+        return MetricsCollector()
+    if metrics == "streaming":
+        return StreamingMetricsCollector(
+            window_start=config.warmup,
+            window_end=config.warmup + config.duration,
+        )
+    if hasattr(metrics, "record_submit"):
+        return metrics
+    raise ValueError(
+        "metrics must be None, 'streaming' or a collector instance, "
+        "got {!r}".format(metrics))
+
+
+def build_deployment(config, auditor=None, obs=None, metrics=None):
     """Construct the simulated system described by ``config``.
 
     ``auditor`` (a :class:`repro.checks.auditor.RaceAuditor`) arms the
@@ -121,11 +155,22 @@ def build_deployment(config, auditor=None, obs=None):
     :meth:`Deployment.start`. Deliberately *not* an ``ExperimentConfig``
     field — the config is fingerprinted, and tracing must never change
     what a run reports.
+
+    ``metrics`` selects the collector: ``None`` (default) for the
+    record-backed :class:`MetricsCollector`, ``"streaming"`` for the
+    constant-memory :class:`StreamingMetricsCollector`, or a pre-built
+    collector instance. Off-config for the same reason as ``obs`` — the
+    choice shapes the *report*, never the run; simulated timelines are
+    identical either way.
     """
     n = config.n
     sim = Simulator(config.seed, auditor=auditor)
-    topology = Topology(n)
-    collector = MetricsCollector()
+    if config.num_regions is None:
+        topology = Topology(n)
+    else:
+        topology = Topology(n, matrix_ms=synthetic_regions(
+            config.num_regions, config.region_seed))
+    collector = _make_collector(config, metrics)
     loss_injector = (
         ReceiverLossInjector(sim, config.loss_rate) if config.loss_rate > 0 else None
     )
@@ -133,6 +178,7 @@ def build_deployment(config, auditor=None, obs=None):
 
     overlay = None
     overlay_rng = None
+    interner = None
     nodes = []
     communicators = []
 
@@ -146,12 +192,15 @@ def build_deployment(config, auditor=None, obs=None):
             communicators.append(BaselineCommunicator(node, config.coordinator_id))
     else:
         overlay_rng = make_stream(config.effective_overlay_seed, "overlay")
-        overlay = generate_overlay(n, config.effective_k, overlay_rng)
+        overlay = generate_overlay(n, config.effective_k, overlay_rng,
+                                   family=config.overlay_family)
         for edge in overlay.edges:
             a, b = sorted(edge)
             _connect_pair(sim, config, topology, transports, a, b, loss_injector)
         semantic = config.setup == "semantic"
         hooks_class = RaftSemantics if config.protocol == "raft" else PaxosSemantics
+        interner = UidInterner()
+        make_dedup = _dedup_factory(config, interner)
         for i in range(n):
             hooks = (
                 hooks_class(
@@ -165,7 +214,7 @@ def build_deployment(config, auditor=None, obs=None):
             common = dict(
                 costs=config.costs,
                 hooks=hooks,
-                cache=_make_dedup(config),
+                cache=make_dedup(),
                 send_queue_capacity=config.send_queue_capacity,
             )
             if config.gossip_strategy == "push":
@@ -265,7 +314,7 @@ def build_deployment(config, auditor=None, obs=None):
     return Deployment(config, sim, topology, overlay, transports, nodes,
                       processes, clients, collector, loss_injector,
                       crash_controller, fault_engine, membership,
-                      obs=tracer)
+                      obs=tracer, interner=interner)
 
 
 def _make_notifier(sim, lan_delay_s, client):

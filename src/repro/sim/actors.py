@@ -41,7 +41,14 @@ class Timer:
 
 
 class Actor:
-    """Base class for simulated components."""
+    """Base class for simulated components.
+
+    Declares ``__slots__`` so hot subclasses (the gossip node) can opt
+    into flat attribute storage; subclasses that do not declare slots get
+    an instance ``__dict__`` as usual.
+    """
+
+    __slots__ = ("sim", "name")
 
     def __init__(self, sim, name):
         self.sim = sim

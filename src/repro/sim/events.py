@@ -46,6 +46,10 @@ import os
 from contextlib import contextmanager
 from heapq import heapify, heappop, heappush
 
+#: Sentinel pop() limit meaning "no horizon": any event time compares
+#: below +inf, so the hot loop needs no per-pop None check.
+_NO_LIMIT = float("inf")
+
 
 class Event:
     """A scheduled callback; returned by :meth:`Simulator.schedule`."""
@@ -203,13 +207,15 @@ class EventQueue(_QueueBase):
         discarded. This lets the simulator loop advance with a single
         heap operation per executed event instead of a peek-then-pop pair.
         """
+        if limit is None:
+            limit = _NO_LIMIT
         heap = self._heap
         while heap:
             time, _seq, event = heap[0]
             if event.cancelled:
                 heappop(heap)
                 continue
-            if limit is not None and time > limit:
+            if time > limit:
                 return None
             heappop(heap)
             self._live -= 1
@@ -363,6 +369,8 @@ class TimingWheelQueue(_QueueBase):
 
     def pop(self, limit=None):
         """Remove and return the earliest non-cancelled event, or None."""
+        if limit is None:
+            limit = _NO_LIMIT
         while True:
             cur = self._cur
             while cur:
@@ -371,7 +379,7 @@ class TimingWheelQueue(_QueueBase):
                     heappop(cur)
                     self._physical -= 1
                     continue
-                if limit is not None and time > limit:
+                if time > limit:
                     return None
                 heappop(cur)
                 self._physical -= 1

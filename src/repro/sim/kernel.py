@@ -142,7 +142,16 @@ class Simulator:
         executed = 0
         queue = self._queue
         pop = queue.pop
-        recycle = queue.recycle
+        # The retire-and-recycle bookkeeping is inlined below (attribute
+        # stores instead of Event.cancel / queue.recycle calls): two saved
+        # call frames per executed event is a measurable share of the
+        # kernel loop. Semantics are identical — retire before running the
+        # callback (a callback cancelling its own popped event — e.g. a
+        # timer stopped from inside its firing — must not decrement the
+        # live count a second time), references dropped, and only pooled
+        # events popped and retired by this loop enter the freelist.
+        pool = queue._pool
+        pool_max = queue.POOL_MAX
         try:
             while True:
                 if max_events is not None and executed >= max_events:
@@ -158,18 +167,14 @@ class Simulator:
                         self.now = until if queue else max(self.now, until)
                     break
                 self.now = event.time
-                fn, args = event.fn, event.args
-                # Retire the event before running it: a callback cancelling
-                # its own (already popped) event — e.g. a timer stopped from
-                # inside its firing — must not decrement the live count a
-                # second time or the queue's bookkeeping underflows.
-                event.cancel()
+                fn = event.fn
+                args = event.args
+                event.cancelled = True
+                event.fn = None
+                event.args = ()
                 fn(*args)
-                if event.pooled:
-                    # Freelist recycling is safe only here: the event was
-                    # popped (not a cancelled shell) and retired by this
-                    # loop, so no other holder of the handle remains.
-                    recycle(event)
+                if event.pooled and len(pool) < pool_max:
+                    pool.append(event)
                 executed += 1
         finally:
             self._running = False

@@ -1,0 +1,85 @@
+"""Overlay families, connectivity at scale, and the default_k growth law."""
+
+import pytest
+
+from repro.net.overlay import (
+    OVERLAY_FAMILIES,
+    Overlay,
+    default_k,
+    generate_overlay,
+)
+from repro.sim.random import make_stream
+
+
+def test_default_k_growth_law():
+    """k ≈ log2(n)/2, floored at 2 — average degree ~log2(n) (§4.2)."""
+    assert default_k(13) == 2
+    assert default_k(53) == 3
+    assert default_k(105) == 3
+    assert default_k(1000) == 5
+    # Monotone non-decreasing and sane over the whole usable range.
+    previous = 0
+    for n in range(3, 2000, 7):
+        k = default_k(n)
+        assert k >= 2
+        assert k >= previous
+        previous = k
+
+
+def test_effective_k_delegates_to_default_k():
+    from repro.runtime.config import ExperimentConfig
+
+    for n in (13, 53, 105, 400):
+        assert ExperimentConfig(n=n).effective_k == default_k(n)
+    assert ExperimentConfig(n=105, k=7).effective_k == 7
+
+
+def test_unknown_family_rejected():
+    with pytest.raises(ValueError, match="unknown overlay family"):
+        generate_overlay(13, family="smallworld")
+    assert set(OVERLAY_FAMILIES) == {"kout", "powerlaw"}
+
+
+def test_powerlaw_overlay_connected_and_hub_heavy():
+    overlay = generate_overlay(200, k=3, seed=4, family="powerlaw")
+    assert overlay.is_connected()
+    assert overlay.n == 200
+    degrees = sorted(overlay.degree(i) for i in range(200))
+    # Preferential attachment: the biggest hub dwarfs the median degree.
+    assert degrees[-1] >= 3 * degrees[100]
+    assert degrees[0] >= 3  # every late joiner keeps its k attachments
+    # ~2k average degree, like the k-out family.
+    assert 2 * 3 * 0.8 <= overlay.average_degree() <= 2 * 3 * 1.2
+
+
+def test_powerlaw_deterministic_per_seed():
+    a = generate_overlay(150, k=3, seed=9, family="powerlaw")
+    b = generate_overlay(150, k=3, seed=9, family="powerlaw")
+    c = generate_overlay(150, k=3, seed=10, family="powerlaw")
+    assert a.edges == b.edges
+    assert a.edges != c.edges
+
+
+def test_kout_n1000_generates_and_connects():
+    overlay = generate_overlay(1000, seed=3)
+    assert overlay.is_connected()
+    assert overlay.average_degree() == pytest.approx(
+        2 * default_k(1000), rel=0.15)
+
+
+def test_component_sizes_partition_n():
+    overlay = Overlay(6, {(0, 1), (1, 2), (3, 4)})
+    assert overlay.component_sizes() == [3, 2, 1]
+    assert not overlay.is_connected()
+    assert Overlay(4, {(0, 1), (1, 2), (2, 3)}).is_connected()
+
+
+def test_exhausted_attempts_report_components():
+    """k=1 overlays are usually disconnected; the error must say how."""
+    rng = make_stream(2, "overlay")
+    with pytest.raises(RuntimeError) as excinfo:
+        generate_overlay(512, k=1, rng=rng, max_attempts=2)
+    message = str(excinfo.value)
+    assert "components" in message
+    assert "default_k(512) = 4" in message
+    assert "max_attempts" in message

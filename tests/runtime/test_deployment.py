@@ -1,7 +1,7 @@
 """Tests for deployment wiring of the three setups."""
 
 from repro.core.semantics import PaxosSemantics
-from repro.gossip.bloom import SlidingBloomFilter
+from repro.gossip.bloom import InternedSlidingBloomFilter
 from repro.gossip.hooks import SemanticHooks
 from repro.gossip.node import GossipNode
 from repro.runtime.deployment import build_deployment
@@ -86,8 +86,13 @@ def test_loss_injector_only_when_configured():
 def test_bloom_dedup_option():
     deployment = build_deployment(fast_config(use_bloom_dedup=True))
     assert all(
-        type(node.cache) is SlidingBloomFilter for node in deployment.nodes
+        type(node.cache) is InternedSlidingBloomFilter
+        for node in deployment.nodes
     )
+    # All nodes share the deployment's position cache and interner.
+    positions = {id(node.cache.positions) for node in deployment.nodes}
+    assert len(positions) == 1
+    assert deployment.nodes[0].cache.positions.interner is deployment.interner
 
 
 def test_processes_wired_to_nodes():

@@ -1,0 +1,71 @@
+"""Fingerprint inertness of MessageStats class-attribute-default fields.
+
+``MessageStats`` carries anomaly counters (``decisions_unknown``,
+``decisions_duplicate``) as *class-level* defaults: the fingerprint
+canonicalises plain objects via ``__dict__``, so a zero counter is
+invisible — committed fingerprints of clean runs never move when such a
+field is added — while any nonzero value materialises as an instance
+attribute and changes the fingerprint loudly. This regression test pins
+the pattern so a future field can't accidentally be made eager (which
+would shift every committed baseline fingerprint).
+"""
+
+from repro.analysis.fingerprint import _canonical
+from repro.perf.scenarios import SCENARIOS
+from repro.runtime.metrics import MessageStats, build_report
+from repro.runtime.runner import run_deployment
+
+#: The class-attr-default (lazily materialised) anomaly counters.
+LAZY_FIELDS = ("decisions_unknown", "decisions_duplicate")
+
+
+def test_zero_anomaly_counters_stay_out_of_instance_dict():
+    stats = MessageStats()
+    for name in LAZY_FIELDS:
+        assert getattr(stats, name) == 0        # readable via the class
+        assert name not in vars(stats)          # but not materialised
+
+
+def test_zero_anomaly_counters_are_fingerprint_inert():
+    reference = _canonical(MessageStats())
+    for name in LAZY_FIELDS:
+        assert name not in reference
+    # Materialising one (even at its default value!) must change the
+    # canonical form — the pattern relies on writes being meaningful.
+    stats = MessageStats()
+    stats.decisions_unknown = 1
+    assert _canonical(stats) != reference
+    assert _canonical(stats)["decisions_unknown"] == 1
+
+
+def test_no_future_field_reintroduces_the_eager_pattern():
+    """Every __init__-assigned field is part of the committed fingerprint
+    surface; this pins the exact set so additions are deliberate.
+
+    Adding an eager field shifts every committed baseline fingerprint —
+    if that is intended, regenerate BENCH_perf.json and update this list;
+    if not, use the class-attribute-default pattern instead.
+    """
+    eager = sorted(vars(MessageStats()))
+    assert eager == sorted((
+        "received_total", "received_regular_mean", "received_coordinator",
+        "duplicates", "delivered", "filtered", "aggregated_saved",
+        "disaggregated", "send_queue_drops", "loss_injected",
+        "loss_examined", "retransmissions", "retransmissions_election",
+        "reproposals_election", "membership", "cpu_utilization_mean",
+        "cpu_utilization_max", "link_sent", "link_delivered",
+        "link_dropped_queue", "link_dropped_loss", "link_bytes_sent",
+        "fault_injections", "fault_partition_drops", "fault_link_loss_drops",
+        "fault_burst_drops", "partition_windows",
+    ))
+
+
+def test_clean_run_report_omits_anomaly_counters():
+    deployment, report = run_deployment(SCENARIOS["fig3_workload"]())
+    for name in LAZY_FIELDS:
+        assert name not in vars(report.messages)
+    # Force an anomaly on the finished deployment's collector and rebuild:
+    # the counter must materialise.
+    deployment.collector.decisions_unknown = 3
+    rebuilt = build_report(deployment)
+    assert vars(rebuilt.messages)["decisions_unknown"] == 3

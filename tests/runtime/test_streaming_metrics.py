@@ -1,0 +1,183 @@
+"""Streaming-metrics mode: accumulator behaviour and percentile bracketing.
+
+The opt-in ``metrics="streaming"`` collector must (a) never perturb the
+simulated run — same events, same message counters as the record-backed
+default — and (b) recover latency statistics from its fixed-bin histogram
+to within one bin width of the exact sorted-sample percentiles.
+"""
+
+import pytest
+
+from repro.perf.scenarios import SCENARIOS
+from repro.runtime.metrics import (
+    LatencyAccumulator,
+    MetricsCollector,
+    StreamingMetricsCollector,
+    StreamingMetricsReport,
+    StreamingStat,
+)
+from repro.runtime.runner import run_deployment, run_experiment
+
+
+# -- unit: accumulators ------------------------------------------------------
+
+
+def test_streaming_stat_tracks_count_sum_min_max():
+    stat = StreamingStat()
+    assert stat.mean == 0.0
+    for x in (0.3, 0.1, 0.5):
+        stat.add(x)
+    assert stat.count == 3
+    assert stat.min == 0.1
+    assert stat.max == 0.5
+    assert stat.mean == pytest.approx(0.3)
+
+
+def test_latency_accumulator_empty_and_single():
+    acc = LatencyAccumulator(bin_width_s=0.001, num_bins=100)
+    assert acc.percentile_s(50) == 0.0
+    acc.add(0.042)
+    assert acc.percentile_s(50) == 0.042
+    assert acc.percentile_s(99.9) == 0.042
+
+
+def test_latency_accumulator_overflow_bounded_by_max():
+    acc = LatencyAccumulator(bin_width_s=0.001, num_bins=10)  # range 10ms
+    for latency in (0.001, 0.002, 5.0):
+        acc.add(latency)
+    assert acc.count == 3
+    # The overflow sample is reported from the (range_top, max) bracket.
+    assert acc.percentile_s(100) <= 5.0
+    assert acc.stat.max == 5.0
+
+
+def test_latency_accumulator_brackets_uniform_data():
+    width = 0.001
+    acc = LatencyAccumulator(bin_width_s=width, num_bins=1000)
+    xs = [i * 0.000173 for i in range(1500)]
+    for x in xs:
+        acc.add(x)
+    from repro.runtime.metrics import percentile
+
+    xs.sort()
+    for p in (50.0, 90.0, 99.0, 99.9):
+        assert abs(acc.percentile_s(p) - percentile(xs, p)) <= width
+
+
+def test_latency_accumulator_cdf_monotone_ends_at_one():
+    acc = LatencyAccumulator(bin_width_s=0.001, num_bins=100)
+    for i in range(50):
+        acc.add((i % 20) * 0.0015)
+    cdf = acc.cdf(points=10)
+    fractions = [fraction for _x, fraction in cdf]
+    assert fractions == sorted(fractions)
+    assert fractions[-1] == pytest.approx(1.0)
+    xs = [x for x, _f in cdf]
+    assert xs == sorted(xs)
+
+
+# -- unit: collector ---------------------------------------------------------
+
+
+def test_streaming_collector_drops_decided_records():
+    collector = StreamingMetricsCollector(window_start=0.0, window_end=10.0)
+    collector.record_submit("v1", 0, 1.0)
+    collector.record_submit("v2", 1, 1.5)
+    assert collector.inflight() == 2
+    collector.record_decided("v1", 1.4)
+    assert collector.inflight() == 1
+    assert collector.decided == 1
+    assert collector.latency.stat.max == pytest.approx(0.4)
+
+
+def test_streaming_collector_merges_duplicates_into_unknown():
+    """A repeat decision is indistinguishable from an unknown value id
+    once the record has been dropped; both count as unknown."""
+    collector = StreamingMetricsCollector(window_start=0.0, window_end=10.0)
+    collector.record_submit("v1", 0, 1.0)
+    collector.record_decided("v1", 1.2)
+    collector.record_decided("v1", 1.3)   # duplicate -> unknown
+    collector.record_decided("ghost", 1.4)
+    assert collector.decisions_unknown == 2
+    assert collector.decisions_duplicate == 0
+
+
+def test_streaming_collector_window_filtering():
+    collector = StreamingMetricsCollector(window_start=1.0, window_end=2.0)
+    # Submitted before the window: latency excluded, decision in window
+    # still counts toward decided_in_window (mirrors build_report).
+    collector.record_submit("early", 0, 0.5)
+    collector.record_decided("early", 1.5)
+    assert collector.decided == 1
+    assert collector.decided_in_window == 1
+    assert collector.latency.count == 0
+
+
+# -- integration: streaming vs record-backed on a real run -------------------
+
+
+@pytest.fixture(scope="module")
+def paired_reports():
+    config = SCENARIOS["fig5_latency"]()
+    record = run_experiment(config)
+    streaming = run_experiment(config, metrics="streaming")
+    return record, streaming
+
+
+def test_streaming_run_is_timing_inert(paired_reports):
+    """The collector choice must not change what the simulator executes."""
+    config = SCENARIOS["fig3_workload"]()
+    deployment_record, _ = run_deployment(config)
+    deployment_streaming, report = run_deployment(config, metrics="streaming")
+    assert (deployment_streaming.sim.events_executed
+            == deployment_record.sim.events_executed)
+    assert isinstance(report, StreamingMetricsReport)
+    assert report.streaming
+
+
+def test_streaming_counts_match_record_backed(paired_reports):
+    record, streaming = paired_reports
+    assert streaming.submitted == record.submitted
+    assert streaming.decided == record.decided
+    assert streaming.decided_in_window == record.decided_in_window
+    assert streaming.throughput == record.throughput
+    assert vars(streaming.messages) == vars(record.messages)
+
+
+def test_streaming_percentiles_bracket_exact(paired_reports):
+    record, streaming = paired_reports
+    width = streaming.latency.bin_width_s
+    for p in (50.0, 90.0, 99.0, 99.9):
+        exact = record.latency_percentile_s(p)
+        estimate = streaming.latency_percentile_s(p)
+        assert abs(estimate - exact) <= width, (
+            "p{}: |{} - {}| > bin width {}".format(p, estimate, exact, width))
+    assert streaming.avg_latency_s == pytest.approx(record.avg_latency_s)
+    assert streaming.min_latency_s == pytest.approx(min(record.latencies_s))
+    assert streaming.max_latency_s == pytest.approx(max(record.latencies_s))
+
+
+def test_streaming_per_client_stats(paired_reports):
+    record, streaming = paired_reports
+    for client_id, latencies in record.per_client_latencies_s.items():
+        if not latencies:
+            continue
+        stat = streaming.per_client_latencies_s[client_id]
+        assert stat.count == len(latencies)
+        assert stat.mean == pytest.approx(sum(latencies) / len(latencies))
+
+
+def test_default_collector_unchanged():
+    """The default path still uses the record-backed collector."""
+    from repro.runtime.deployment import build_deployment
+
+    deployment = build_deployment(SCENARIOS["fig3_workload"]())
+    assert isinstance(deployment.collector, MetricsCollector)
+    assert not deployment.collector.streaming
+
+
+def test_metrics_knob_rejects_unknown_values():
+    from repro.runtime.deployment import build_deployment
+
+    with pytest.raises(ValueError):
+        build_deployment(SCENARIOS["fig3_workload"](), metrics="bogus")
